@@ -1,0 +1,87 @@
+// Micro-benchmarks for the local-DBMS substrate: lock manager grant/release
+// paths and Thomas-Write-Rule item stores.
+
+#include <benchmark/benchmark.h>
+
+#include "db/item_store.h"
+#include "db/lock_manager.h"
+#include "sim/process.h"
+#include "sim/simulation.h"
+
+namespace lazyrep::db {
+namespace {
+
+sim::Process AcquireReleaseLoop(sim::Simulation* sim, LockManager* lm,
+                                TxnId txn, int items, int rounds) {
+  for (int r = 0; r < rounds; ++r) {
+    for (int i = 0; i < items; ++i) {
+      co_await lm->Acquire(txn, static_cast<ItemId>(i), LockMode::kShared,
+                           1.0);
+    }
+    lm->ReleaseAll(txn);
+  }
+  (void)sim;
+}
+
+void BM_LockUncontendedAcquireRelease(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Simulation sim;
+    LockManager lm(&sim);
+    sim.Spawn(AcquireReleaseLoop(&sim, &lm, 1, 10, 100));
+    sim.Run();
+    benchmark::DoNotOptimize(lm.grants());
+  }
+  state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_LockUncontendedAcquireRelease);
+
+void BM_LockContendedSharers(benchmark::State& state) {
+  const int txns = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    sim::Simulation sim;
+    LockManager lm(&sim);
+    for (int t = 1; t <= txns; ++t) {
+      sim.Spawn(AcquireReleaseLoop(&sim, &lm, t, 10, 10));
+    }
+    sim.Run();
+    benchmark::DoNotOptimize(lm.grants());
+  }
+  state.SetItemsProcessed(state.iterations() * txns * 100);
+}
+BENCHMARK(BM_LockContendedSharers)->Arg(8)->Arg(64);
+
+void BM_ItemStoreTwrApply(benchmark::State& state) {
+  ItemStore store(1000);
+  double t = 0;
+  TxnId id = 1;
+  for (auto _ : state) {
+    for (ItemId i = 0; i < 1000; ++i) {
+      store.ApplyWrite(i, Timestamp{t, id});
+    }
+    t += 1;
+    ++id;
+  }
+  state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_ItemStoreTwrApply);
+
+void BM_ItemStoreReadRegister(benchmark::State& state) {
+  ItemStore store(1000);
+  TxnId reader = 1;
+  for (auto _ : state) {
+    for (ItemId i = 0; i < 1000; ++i) {
+      benchmark::DoNotOptimize(store.Read(i, reader));
+    }
+    std::vector<ItemId> items(1000);
+    for (ItemId i = 0; i < 1000; ++i) items[i] = i;
+    store.RemoveReader(reader, items);
+    ++reader;
+  }
+  state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_ItemStoreReadRegister);
+
+}  // namespace
+}  // namespace lazyrep::db
+
+BENCHMARK_MAIN();

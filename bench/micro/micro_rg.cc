@@ -1,0 +1,119 @@
+// Micro-benchmarks for the replication-graph machinery: RGtest throughput,
+// union-rule merging, split-rule recomputation, and cycle-check DFS cost
+// as virtual sites grow.
+
+#include <benchmark/benchmark.h>
+
+#include "rg/replication_graph.h"
+#include "sim/random.h"
+
+namespace lazyrep::rg {
+namespace {
+
+using db::Operation;
+using db::OpType;
+
+Operation Read(db::ItemId d) { return Operation{OpType::kRead, d}; }
+Operation Write(db::ItemId d) { return Operation{OpType::kWrite, d}; }
+
+// Steady-state churn: register transactions, run RGtests, remove them —
+// the graph site's life at a fixed population.
+void BM_RgChurn(benchmark::State& state) {
+  const int num_sites = static_cast<int>(state.range(0));
+  const int population = 64;
+  const int num_items = 20 * num_sites;
+  sim::RandomStream rng(7);
+  ReplicationGraph g(num_sites);
+  std::vector<db::TxnId> live;
+  db::TxnId next = 1;
+  GraphCost cost;
+  auto spawn = [&] {
+    db::TxnId t = next++;
+    db::SiteId origin =
+        static_cast<db::SiteId>(rng.UniformInt(0, num_sites - 1));
+    bool update = rng.Chance(0.1);
+    g.AddTxn(t, origin, update);
+    std::vector<Operation> ops;
+    for (int i = 0; i < 10; ++i) {
+      db::ItemId d = static_cast<db::ItemId>(rng.UniformInt(0, num_items - 1));
+      if (update && rng.Chance(0.3)) {
+        ops.push_back(Write(static_cast<db::ItemId>(
+            origin * 20 + rng.UniformInt(0, 19))));
+      } else {
+        ops.push_back(Read(d));
+      }
+    }
+    g.RgTest(t, ops, &cost);
+    live.push_back(t);
+  };
+  for (int i = 0; i < population; ++i) spawn();
+  for (auto _ : state) {
+    // Remove the oldest, admit a fresh transaction.
+    db::TxnId victim = live.front();
+    live.erase(live.begin());
+    g.Remove(victim, &cost);
+    spawn();
+  }
+  benchmark::DoNotOptimize(cost.add_units);
+  state.counters["add_units/op"] =
+      static_cast<double>(cost.add_units) / state.iterations();
+  state.counters["check_edges/op"] =
+      static_cast<double>(cost.check_edges) / state.iterations();
+}
+BENCHMARK(BM_RgChurn)->Arg(20)->Arg(100);
+
+// Cycle-check cost as the shared virtual site grows: k global writers all
+// merged into one group through local readers.
+void BM_RgCycleCheckVsGroupSize(benchmark::State& state) {
+  const int k = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    state.PauseTiming();
+    ReplicationGraph g(10);
+    GraphCost cost;
+    for (int i = 0; i < k; ++i) {
+      g.AddTxn(1 + i, 0, true);
+      g.RgTest(1 + i, std::vector<Operation>{Write(100 + i)}, &cost);
+    }
+    // One reader at site 5 merges them all.
+    g.AddTxn(1000, 5, false);
+    std::vector<Operation> reads;
+    for (int i = 0; i < k; ++i) reads.push_back(Read(100 + i));
+    g.RgTest(1000, reads, &cost);
+    // A second reader at site 6 reading two of the items triggers the
+    // expensive connectivity DFS through the big group.
+    g.AddTxn(1001, 6, false);
+    g.RgTest(1001, std::vector<Operation>{Read(100)}, &cost);
+    GraphCost probe;
+    state.ResumeTiming();
+    g.RgTest(1001, std::vector<Operation>{Read(101)}, &probe);
+    benchmark::DoNotOptimize(probe.check_edges);
+  }
+}
+BENCHMARK(BM_RgCycleCheckVsGroupSize)->Arg(2)->Arg(8)->Arg(32);
+
+// Split-rule cost: remove the transaction holding a large group together.
+void BM_RgSplitLargeGroup(benchmark::State& state) {
+  const int members = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    state.PauseTiming();
+    ReplicationGraph g(10);
+    GraphCost cost;
+    // One hub writer, many readers of its item at the same site.
+    g.AddTxn(1, 0, true);
+    g.RgTest(1, std::vector<Operation>{Write(5)}, &cost);
+    for (int i = 0; i < members; ++i) {
+      g.AddTxn(10 + i, 3, false);
+      g.RgTest(10 + i, std::vector<Operation>{Read(5)}, &cost);
+    }
+    GraphCost split_cost;
+    state.ResumeTiming();
+    g.Remove(1, &split_cost);
+    benchmark::DoNotOptimize(split_cost.add_units);
+  }
+}
+BENCHMARK(BM_RgSplitLargeGroup)->Arg(8)->Arg(64);
+
+}  // namespace
+}  // namespace lazyrep::rg
+
+BENCHMARK_MAIN();

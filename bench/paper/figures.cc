@@ -1,0 +1,37 @@
+#include "bench/paper/figures.h"
+
+#include <cstdio>
+
+namespace lazyrep::bench {
+
+void PrintFigures(const std::vector<core::StudyPoint>& points,
+                  const std::vector<FigureSpec>& figures, int figure) {
+  for (const FigureSpec& spec : figures) {
+    if (figure != 0 && spec.number != figure) continue;
+    char title[256];
+    std::snprintf(title, sizeof(title), "Figure %d: %s", spec.number,
+                  spec.title.c_str());
+    core::PrintFigure(points, title, spec.x_label, spec.y_label, spec.series,
+                      spec.protocols);
+  }
+}
+
+void PrintUtilizationAppendix(const std::vector<core::StudyPoint>& points) {
+  std::printf(
+      "\nUtilization appendix (per point: disk mean/max, network mean/max, "
+      "site CPU mean/max)\n");
+  std::printf("%-12s %-8s %7s %7s %7s %7s %7s %7s\n", "protocol", "x",
+              "disk", "dmax", "net", "nmax", "cpu", "cmax");
+  for (const core::StudyPoint& p : points) {
+    std::printf("%-12s %-8g %7.3f %7.3f %7.3f %7.3f %7.3f %7.3f\n",
+                core::ProtocolKindName(p.protocol), p.x,
+                p.snap.mean_disk_utilization, p.snap.max_disk_utilization,
+                p.snap.mean_network_utilization,
+                p.snap.max_network_utilization,
+                p.snap.mean_site_cpu_utilization,
+                p.snap.max_site_cpu_utilization);
+  }
+  std::fflush(stdout);
+}
+
+}  // namespace lazyrep::bench

@@ -1,0 +1,28 @@
+#include "analysis/contention_model.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace lazyrep::analysis {
+
+double ContentionBeta(const ContentionParams& p) {
+  return p.p_update * p.p_write * p.num_ops * p.num_ops *
+         ((1.0 + p.p_update - p.p_update * p.p_write) * p.update_lifetime +
+          (1.0 - p.p_update) * p.read_only_lifetime);
+}
+
+double ExpectedContention(const ContentionParams& params, double tps,
+                          double db_size) {
+  if (db_size <= 0) return 0;
+  return ContentionBeta(params) * tps / db_size;
+}
+
+double ApproxWaitProbability(const ContentionParams& params, double tps,
+                             double db_size) {
+  // Conflicts arrive roughly Poisson with mean E[C]; the probability of at
+  // least one is 1 - exp(-E[C]) ≈ E[C] for small contention.
+  double ec = ExpectedContention(params, tps, db_size);
+  return 1.0 - std::exp(-ec);
+}
+
+}  // namespace lazyrep::analysis

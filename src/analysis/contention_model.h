@@ -1,0 +1,41 @@
+#ifndef LAZYREP_ANALYSIS_CONTENTION_MODEL_H_
+#define LAZYREP_ANALYSIS_CONTENTION_MODEL_H_
+
+namespace lazyrep::analysis {
+
+/// Inputs to the Appendix contention analysis (Theorem 1).
+struct ContentionParams {
+  /// Probability that a transaction is an update (p_u; Table 1: 0.10).
+  double p_update = 0.10;
+  /// Probability that an operation of an update transaction is a write
+  /// (p_wr; Table 1: 0.30).
+  double p_write = 0.30;
+  /// Operations per transaction (#ops; the analysis assumes exactly #ops
+  /// distinct items — use the mean, 10).
+  double num_ops = 10.0;
+  /// Expected lifetime of an update transaction at its origination site,
+  /// seconds (l_u): time until it commits or aborts.
+  double update_lifetime = 0.05;
+  /// Expected lifetime of a read-only transaction, seconds (l_r).
+  double read_only_lifetime = 0.02;
+};
+
+/// The beta coefficient of Theorem 1:
+///   beta = p_u * p_wr * #ops^2 * ((1 + p_u - p_u*p_wr) * l_u
+///                                 + (1 - p_u) * l_r).
+double ContentionBeta(const ContentionParams& params);
+
+/// Expected number of conflicts a transaction participates in at its
+/// origination site before committing or aborting:
+///   E[C] = beta * TPS / |DB|   (Theorem 1).
+double ExpectedContention(const ContentionParams& params, double tps,
+                          double db_size);
+
+/// Gray/Reuter-style waiting probability approximation for comparison
+/// (Transaction Processing, eq. 7.4): with E[C] small, Pr(wait) ≈ E[C].
+double ApproxWaitProbability(const ContentionParams& params, double tps,
+                             double db_size);
+
+}  // namespace lazyrep::analysis
+
+#endif  // LAZYREP_ANALYSIS_CONTENTION_MODEL_H_

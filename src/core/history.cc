@@ -1,0 +1,109 @@
+#include "core/history.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace lazyrep::core {
+
+void HistoryRecorder::RecordRead(db::TxnId reader, db::ItemId item,
+                                 db::Timestamp version) {
+  item_reads_[item].push_back(ReadRecord{reader, version});
+  ++reads_;
+}
+
+void HistoryRecorder::RecordCommit(db::TxnId txn, db::Timestamp ts,
+                                   const std::vector<db::ItemId>& write_set) {
+  committed_[txn] = ts;
+  for (db::ItemId item : write_set) {
+    writers_[item].push_back(ts);
+  }
+}
+
+bool HistoryRecorder::CheckOneCopySerializable(std::string* why) const {
+  // Adjacency over committed transactions.
+  std::unordered_map<db::TxnId, std::unordered_set<db::TxnId>> adj;
+  auto add_edge = [&adj](db::TxnId from, db::TxnId to) {
+    if (from == to) return;
+    adj[from].insert(to);
+    adj.try_emplace(to);
+  };
+  for (const auto& [txn, ts] : committed_) adj.try_emplace(txn);
+
+  // ww edges: version order per item is timestamp order.
+  for (const auto& [item, tss] : writers_) {
+    std::vector<db::Timestamp> sorted = tss;
+    std::sort(sorted.begin(), sorted.end());
+    for (size_t i = 1; i < sorted.size(); ++i) {
+      add_edge(sorted[i - 1].txn, sorted[i].txn);
+    }
+  }
+
+  // wr and rw edges.
+  for (const auto& [item, reads] : item_reads_) {
+    auto wit = writers_.find(item);
+    for (const ReadRecord& r : reads) {
+      if (!committed_.contains(r.reader)) continue;  // aborted reader: skip
+      if (r.version.txn != db::kNoTxn) {
+        // The version's writer must be committed (versions install at or
+        // after commit); wr edge writer -> reader.
+        add_edge(r.version.txn, r.reader);
+      }
+      if (wit == writers_.end()) continue;
+      for (const db::Timestamp& w : wit->second) {
+        if (w > r.version) add_edge(r.reader, w.txn);  // rw edge
+      }
+    }
+  }
+
+  // Cycle detection: iterative three-color DFS.
+  enum : uint8_t { kWhite, kGray, kBlack };
+  std::unordered_map<db::TxnId, uint8_t> color;
+  for (const auto& [node, _] : adj) color[node] = kWhite;
+  for (const auto& [start, _] : adj) {
+    if (color[start] != kWhite) continue;
+    // Stack of (node, next-neighbor iterator position).
+    std::vector<std::pair<db::TxnId, std::unordered_set<db::TxnId>::iterator>>
+        stack;
+    color[start] = kGray;
+    stack.push_back({start, adj[start].begin()});
+    while (!stack.empty()) {
+      auto& [node, it] = stack.back();
+      if (it == adj[node].end()) {
+        color[node] = kBlack;
+        stack.pop_back();
+        continue;
+      }
+      db::TxnId next = *it;
+      ++it;
+      uint8_t c = color[next];
+      if (c == kGray) {
+        if (why != nullptr) {
+          // Reconstruct the cycle from the gray stack.
+          *why = "MVSG cycle:";
+          bool in_cycle = false;
+          for (const auto& [n, _] : stack) {
+            if (n == next) in_cycle = true;
+            if (in_cycle) {
+              char buf[32];
+              std::snprintf(buf, sizeof(buf), " %llu",
+                            (unsigned long long)n);
+              *why += buf;
+            }
+          }
+          char buf[32];
+          std::snprintf(buf, sizeof(buf), " -> %llu",
+                        (unsigned long long)next);
+          *why += buf;
+        }
+        return false;
+      }
+      if (c == kWhite) {
+        color[next] = kGray;
+        stack.push_back({next, adj[next].begin()});
+      }
+    }
+  }
+  return true;
+}
+
+}  // namespace lazyrep::core

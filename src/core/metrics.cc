@@ -1,0 +1,40 @@
+#include "core/metrics.h"
+
+#include <cstdio>
+
+namespace lazyrep::core {
+
+std::string MetricsSnapshot::ToString() const {
+  char buf[1536];
+  std::snprintf(
+      buf, sizeof(buf),
+      "window %.2fs  submitted %llu (ro %llu / upd %llu)\n"
+      "completed %llu (%.1f tps)  aborted %llu (rate %.3f)\n"
+      "ro response   %.4fs ±%.4f   upd response %.4fs ±%.4f\n"
+      "commit->complete (upd) %.4fs ±%.4f\n"
+      "graph cpu %.3f (queue %.1f)  site cpu %.3f/%.3f  disk %.3f/%.3f  "
+      "net %.3f/%.3f\n"
+      "lock waits %llu timeouts %llu | graph tests %llu waits %llu "
+      "wait-timeouts %llu rejections %llu cycle-aborts %llu | twr-ignored "
+      "%llu | in-flight %llu",
+      duration, (unsigned long long)submitted,
+      (unsigned long long)submitted_read_only,
+      (unsigned long long)submitted_update, (unsigned long long)completed,
+      completed_tps, (unsigned long long)aborted, abort_rate,
+      read_only_response.Mean(), read_only_response.HalfWidth95(),
+      update_response.Mean(), update_response.HalfWidth95(),
+      commit_to_complete.Mean(), commit_to_complete.HalfWidth95(),
+      graph_cpu_utilization, graph_cpu_queue, mean_site_cpu_utilization,
+      max_site_cpu_utilization, mean_disk_utilization, max_disk_utilization,
+      mean_network_utilization, max_network_utilization,
+      (unsigned long long)lock_waits, (unsigned long long)lock_timeouts,
+      (unsigned long long)graph_tests, (unsigned long long)graph_waits,
+      (unsigned long long)graph_wait_timeouts,
+      (unsigned long long)graph_rejections,
+      (unsigned long long)graph_cycle_aborts,
+      (unsigned long long)writes_ignored_twr,
+      (unsigned long long)in_flight_at_end);
+  return buf;
+}
+
+}  // namespace lazyrep::core

@@ -1,0 +1,128 @@
+#ifndef LAZYREP_CORE_METRICS_H_
+#define LAZYREP_CORE_METRICS_H_
+
+#include <cstdint>
+#include <string>
+
+#include "sim/batch_stats.h"
+#include "sim/stats.h"
+#include "txn/transaction.h"
+
+namespace lazyrep::core {
+
+/// Final measurements of one run, mirroring the metrics the paper plots.
+struct MetricsSnapshot {
+  /// Measurement window (transient end to last submission), seconds.
+  double duration = 0;
+
+  uint64_t submitted = 0;
+  uint64_t submitted_read_only = 0;
+  uint64_t submitted_update = 0;
+  uint64_t committed = 0;
+  uint64_t completed = 0;
+  uint64_t completed_read_only = 0;
+  uint64_t completed_update = 0;
+  uint64_t aborted = 0;
+  uint64_t aborted_read_only = 0;
+  uint64_t aborted_update = 0;
+
+  /// Completed transactions per second (Figures 2, 8, 11, 15).
+  double completed_tps = 0;
+  /// Fraction of submitted transactions that aborted (Figures 4, 14, 16).
+  double abort_rate = 0;
+
+  /// Start -> committed, read-only transactions (Figures 5, 9).
+  sim::TallyStat read_only_response;
+  /// Start -> committed, update transactions (Figures 6, 10).
+  sim::TallyStat update_response;
+  /// Committed -> completed, update transactions (Figure 7).
+  sim::TallyStat commit_to_complete;
+  /// Tail behaviour of the same three series (p50/p95/p99 and max).
+  sim::QuantileStat read_only_quantiles;
+  sim::QuantileStat update_quantiles;
+  sim::QuantileStat complete_quantiles;
+
+  /// Graph-site CPU utilization (Figures 3, 12, 13); 0 for locking.
+  double graph_cpu_utilization = 0;
+  double graph_cpu_queue = 0;
+  double mean_site_cpu_utilization = 0;
+  double max_site_cpu_utilization = 0;
+  double mean_disk_utilization = 0;
+  double max_disk_utilization = 0;
+  double mean_network_utilization = 0;
+  double max_network_utilization = 0;
+
+  uint64_t lock_waits = 0;
+  uint64_t lock_timeouts = 0;
+  uint64_t graph_tests = 0;
+  uint64_t graph_waits = 0;
+  uint64_t graph_wait_timeouts = 0;
+  uint64_t graph_rejections = 0;
+  uint64_t graph_cycle_aborts = 0;
+  uint64_t writes_ignored_twr = 0;
+  /// Transactions neither terminal nor measured when the run ended.
+  uint64_t in_flight_at_end = 0;
+
+  std::string ToString() const;
+};
+
+/// Event-driven collector; all counters cover *measured* (post-warm-up)
+/// transactions only.
+class Metrics {
+ public:
+  void OnSubmit(const txn::Transaction& t) {
+    if (!t.measured) return;
+    ++snap_.submitted;
+    if (t.is_update) {
+      ++snap_.submitted_update;
+    } else {
+      ++snap_.submitted_read_only;
+    }
+  }
+
+  void OnCommit(const txn::Transaction& t) {
+    if (!t.measured) return;
+    ++snap_.committed;
+    double response = t.commit_time - t.submit_time;
+    if (t.is_update) {
+      snap_.update_response.Add(response);
+      snap_.update_quantiles.Add(response);
+    } else {
+      snap_.read_only_response.Add(response);
+      snap_.read_only_quantiles.Add(response);
+    }
+  }
+
+  void OnAbort(const txn::Transaction& t) {
+    if (!t.measured) return;
+    ++snap_.aborted;
+    if (t.is_update) {
+      ++snap_.aborted_update;
+    } else {
+      ++snap_.aborted_read_only;
+    }
+  }
+
+  void OnComplete(const txn::Transaction& t) {
+    if (!t.measured) return;
+    ++snap_.completed;
+    if (t.is_update) {
+      ++snap_.completed_update;
+      snap_.commit_to_complete.Add(t.terminal_time - t.commit_time);
+      snap_.complete_quantiles.Add(t.terminal_time - t.commit_time);
+    } else {
+      ++snap_.completed_read_only;
+    }
+  }
+
+  /// The snapshot under construction; System fills the utilization and
+  /// derived fields at freeze time.
+  MetricsSnapshot& snapshot() { return snap_; }
+
+ private:
+  MetricsSnapshot snap_;
+};
+
+}  // namespace lazyrep::core
+
+#endif  // LAZYREP_CORE_METRICS_H_

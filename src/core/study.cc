@@ -1,0 +1,143 @@
+#include "core/study.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <utility>
+
+#include "core/system.h"
+
+namespace lazyrep::core {
+
+StudyRunner::StudyRunner(std::string name, ConfigFn make_config)
+    : name_(std::move(name)),
+      make_config_(std::move(make_config)),
+      protocols_({ProtocolKind::kLocking, ProtocolKind::kPessimistic,
+                  ProtocolKind::kOptimistic}) {}
+
+void StudyRunner::set_protocols(std::vector<ProtocolKind> protocols) {
+  protocols_ = std::move(protocols);
+}
+
+std::vector<StudyPoint> StudyRunner::Sweep(const std::vector<double>& xs,
+                                           bool verbose) {
+  std::vector<StudyPoint> points;
+  points.reserve(xs.size() * protocols_.size());
+  for (ProtocolKind kind : protocols_) {
+    for (double x : xs) {
+      SystemConfig config = make_config_(x);
+      System system(config, kind);
+      StudyPoint point;
+      point.x = x;
+      point.protocol = kind;
+      point.snap = system.Run();
+      if (verbose) {
+        std::fprintf(stderr, "[%s] %-11s x=%-7g completed=%.0f tps abort=%.3f"
+                     " graph-cpu=%.2f\n",
+                     name_.c_str(), ProtocolKindName(kind), x,
+                     point.snap.completed_tps, point.snap.abort_rate,
+                     point.snap.graph_cpu_utilization);
+      }
+      points.push_back(std::move(point));
+    }
+  }
+  return points;
+}
+
+void PrintFigure(const std::vector<StudyPoint>& points,
+                 const std::string& figure_title, const std::string& x_label,
+                 const std::string& y_label, const SeriesFn& series,
+                 const std::vector<ProtocolKind>& protocols) {
+  std::printf("\n%s\n", figure_title.c_str());
+  std::printf("%-10s", x_label.c_str());
+  for (ProtocolKind kind : protocols) {
+    bool present = false;
+    for (const StudyPoint& p : points) {
+      if (p.protocol == kind) present = true;
+    }
+    if (present) std::printf(" %14s", ProtocolKindName(kind));
+  }
+  std::printf("    (%s)\n", y_label.c_str());
+  // Collect distinct x values in order of first appearance.
+  std::vector<double> xs;
+  for (const StudyPoint& p : points) {
+    bool seen = false;
+    for (double x : xs) {
+      if (x == p.x) seen = true;
+    }
+    if (!seen) xs.push_back(p.x);
+  }
+  for (double x : xs) {
+    std::printf("%-10g", x);
+    for (ProtocolKind kind : protocols) {
+      bool printed = false;
+      for (const StudyPoint& p : points) {
+        if (p.protocol == kind && p.x == x) {
+          std::printf(" %14.4f", series(p.snap));
+          printed = true;
+          break;
+        }
+      }
+      bool present = false;
+      for (const StudyPoint& p : points) {
+        if (p.protocol == kind) present = true;
+      }
+      if (!printed && present) std::printf(" %14s", "-");
+    }
+    std::printf("\n");
+  }
+  std::fflush(stdout);
+}
+
+BenchOptions BenchOptions::Parse(int argc, char** argv) {
+  BenchOptions opt;
+  if (const char* env = std::getenv("LAZYREP_TXNS")) {
+    opt.txns = std::strtoull(env, nullptr, 10);
+  }
+  for (int i = 1; i < argc; ++i) {
+    const char* a = argv[i];
+    if (std::strncmp(a, "--txns=", 7) == 0) {
+      opt.txns = std::strtoull(a + 7, nullptr, 10);
+    } else if (std::strncmp(a, "--points=", 9) == 0) {
+      opt.max_points = std::atoi(a + 9);
+    } else if (std::strncmp(a, "--figure=", 9) == 0) {
+      opt.figure = std::atoi(a + 9);
+    } else if (std::strncmp(a, "--seed=", 7) == 0) {
+      opt.seed = std::strtoull(a + 7, nullptr, 10);
+    } else if (std::strcmp(a, "--quick") == 0) {
+      opt.quick = true;
+    } else if (std::strncmp(a, "--protocols=", 12) == 0) {
+      opt.protocols.clear();
+      const char* s = a + 12;
+      if (std::strchr(s, 'l')) opt.protocols.push_back(ProtocolKind::kLocking);
+      if (std::strchr(s, 'p')) {
+        opt.protocols.push_back(ProtocolKind::kPessimistic);
+      }
+      if (std::strchr(s, 'o')) {
+        opt.protocols.push_back(ProtocolKind::kOptimistic);
+      }
+    } else if (std::strcmp(a, "--help") == 0) {
+      std::printf(
+          "options: --txns=N --points=N --figure=N --seed=N --quick "
+          "--protocols=[lpo]\n");
+      std::exit(0);
+    }
+  }
+  if (opt.quick && opt.max_points == 0) opt.max_points = 3;
+  return opt;
+}
+
+std::vector<double> BenchOptions::Thin(std::vector<double> xs) const {
+  if (max_points <= 0 || static_cast<size_t>(max_points) >= xs.size()) {
+    return xs;
+  }
+  std::vector<double> out;
+  out.reserve(max_points);
+  for (int i = 0; i < max_points; ++i) {
+    size_t idx = (xs.size() - 1) * i / (max_points - 1 == 0 ? 1 : max_points - 1);
+    if (out.empty() || out.back() != xs[idx]) out.push_back(xs[idx]);
+  }
+  return out;
+}
+
+}  // namespace lazyrep::core

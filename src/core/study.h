@@ -1,0 +1,78 @@
+#ifndef LAZYREP_CORE_STUDY_H_
+#define LAZYREP_CORE_STUDY_H_
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "core/config.h"
+#include "core/metrics.h"
+
+namespace lazyrep::core {
+
+/// One measured point of a study: protocol × sweep value.
+struct StudyPoint {
+  double x = 0;  ///< the swept parameter (submitted TPS, or #sites)
+  ProtocolKind protocol = ProtocolKind::kLocking;
+  MetricsSnapshot snap;
+};
+
+/// Runs a parameter sweep for each protocol and collects the paper's
+/// metrics. The benches use one StudyRunner per study (OC-3, OC-1, OC-1*,
+/// vsN) and print the per-figure series from the same collected points.
+class StudyRunner {
+ public:
+  /// `make_config` maps a sweep value to a full configuration.
+  using ConfigFn = std::function<SystemConfig(double x)>;
+
+  StudyRunner(std::string name, ConfigFn make_config);
+
+  /// Protocols to run (default: all three).
+  void set_protocols(std::vector<ProtocolKind> protocols);
+
+  /// Runs every (protocol, x) combination. When `verbose`, prints one
+  /// progress line per point to stderr.
+  std::vector<StudyPoint> Sweep(const std::vector<double>& xs,
+                                bool verbose = true);
+
+  const std::string& name() const { return name_; }
+
+ private:
+  std::string name_;
+  ConfigFn make_config_;
+  std::vector<ProtocolKind> protocols_;
+};
+
+/// Extracts the y value a figure plots from a measured point.
+using SeriesFn = std::function<double(const MetricsSnapshot&)>;
+
+/// Prints one figure: a header, then per-protocol series as aligned columns
+/// of (x, y) pairs — the same rows/series the paper's plots report.
+void PrintFigure(const std::vector<StudyPoint>& points,
+                 const std::string& figure_title, const std::string& x_label,
+                 const std::string& y_label, const SeriesFn& series,
+                 const std::vector<ProtocolKind>& protocols = {
+                     ProtocolKind::kLocking, ProtocolKind::kPessimistic,
+                     ProtocolKind::kOptimistic});
+
+/// Standard sweep-value parser for bench binaries: reads --txns=, --points=,
+/// --figure=, --protocols= and scale overrides from argv/environment
+/// (LAZYREP_TXNS). Shared by all paper benches.
+struct BenchOptions {
+  uint64_t txns = 3000;        ///< transactions per point
+  int max_points = 0;          ///< 0 = all sweep values
+  int figure = 0;              ///< 0 = print every figure of the study
+  uint64_t seed = 1;
+  bool quick = false;          ///< halve the sweep for smoke runs
+  std::vector<ProtocolKind> protocols = {ProtocolKind::kLocking,
+                                         ProtocolKind::kPessimistic,
+                                         ProtocolKind::kOptimistic};
+
+  static BenchOptions Parse(int argc, char** argv);
+  /// Thins `xs` to at most max_points (keeping endpoints) and applies quick.
+  std::vector<double> Thin(std::vector<double> xs) const;
+};
+
+}  // namespace lazyrep::core
+
+#endif  // LAZYREP_CORE_STUDY_H_

@@ -1,0 +1,212 @@
+#ifndef LAZYREP_CORE_SYSTEM_H_
+#define LAZYREP_CORE_SYSTEM_H_
+
+#include <deque>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/config.h"
+#include "core/history.h"
+#include "core/metrics.h"
+#include "db/completion_tracker.h"
+#include "db/lock_manager.h"
+#include "db/item_store.h"
+#include "hw/cpu.h"
+#include "hw/disk.h"
+#include "net/star_network.h"
+#include "rg/graph_site.h"
+#include "rg/replication_graph.h"
+#include "sim/condition.h"
+#include "sim/process.h"
+#include "sim/random.h"
+#include "sim/simulation.h"
+#include "txn/transaction.h"
+#include "txn/workload.h"
+
+namespace lazyrep::proto {
+class Protocol;
+}  // namespace lazyrep::proto
+
+namespace lazyrep::core {
+
+/// One physical database site: CPU, disk array + buffer, local 2PL lock
+/// manager, and its replica set.
+struct Site {
+  Site(sim::Simulation* sim, db::SiteId id, const SystemConfig& config,
+       uint64_t disk_seed)
+      : id(id),
+        cpu(sim, "cpu_" + std::to_string(id), config.cpu_mips),
+        disk(sim, "disk_" + std::to_string(id), config.disk, disk_seed),
+        locks(sim),
+        store(static_cast<uint32_t>(config.total_items())) {}
+
+  db::SiteId id;
+  hw::Cpu cpu;
+  hw::DiskSubsystem disk;
+  db::LockManager locks;
+  db::ItemStore store;
+};
+
+/// The complete simulated system of §3: database sites joined by an ATM star
+/// network, a dedicated replication-graph site (unused by the locking
+/// protocol), per-site open-loop transaction generators, and one of the three
+/// protocols. One System instance runs one study point.
+class System {
+ public:
+  System(const SystemConfig& config, ProtocolKind kind);
+  ~System();
+  System(const System&) = delete;
+  System& operator=(const System&) = delete;
+
+  /// Runs the experiment: submits config.total_txns transactions, discards
+  /// warm-up transients, freezes measurements at the last submission (§4).
+  MetricsSnapshot Run();
+
+  // -- component access (protocol implementations) ----------------------------
+
+  sim::Simulation& sim() { return sim_; }
+  const SystemConfig& config() const { return config_; }
+  Site& site(db::SiteId s) { return *sites_[s]; }
+  int num_sites() const { return config_.num_sites; }
+  net::StarNetwork& network() { return *network_; }
+  db::CompletionTracker& tracker() { return tracker_; }
+  /// Null when running the locking protocol.
+  rg::GraphSite* graph_site() { return graph_site_.get(); }
+  /// The graph site's network endpoint index.
+  db::SiteId graph_endpoint() const {
+    return static_cast<db::SiteId>(config_.num_sites);
+  }
+  Metrics& metrics() { return metrics_; }
+  txn::Transaction* FindTxn(db::TxnId id);
+
+  /// Sites other than `except` that hold replicas of the transaction's write
+  /// set (full replication: all other sites).
+  std::vector<db::SiteId> ReplicaTargets(const txn::Transaction& t,
+                                         db::SiteId except) const;
+
+  // -- lifecycle hooks ----------------------------------------------------------
+
+  /// Assigns `t`'s Thomas-Write-Rule timestamp at the commit decision point.
+  ///
+  /// Deliberate deviation from §2.4/§2.5 step 1 (which stamps at the first
+  /// operation): with start-time stamping, a local rw conflict can invert
+  /// timestamp order relative to the local serialization order (the later
+  /// transaction holds the older timestamp), and TWR then orders the
+  /// versions against the only serialization order the schedule admits —
+  /// breaking one-copy serializability while the replication graph stays
+  /// acyclic. Commit-time stamping is consistent with every local strict-2PL
+  /// serialization order. See DESIGN.md.
+  void StampCommitTimestamp(txn::Transaction* t) {
+    t->ts = db::Timestamp{sim_.Now(), t->id};
+  }
+
+  /// Marks `t` committed at its origination site (state, metrics, history).
+  /// `response_reference` (simulated seconds), when non-negative, overrides
+  /// the commit instant used for the response-time sample (measurement
+  /// convention only; the state transition happens now).
+  void NoteCommitted(txn::Transaction* t, sim::SimTime response_reference = -1);
+
+  /// Marks `t` aborted (state, metrics, tracker) and drops its reader
+  /// registrations at the origin. Idempotent.
+  void NoteAborted(txn::Transaction* t);
+
+  /// One-shot fired when the tracker completes the transaction (used by the
+  /// locking protocol to hold read locks until completion).
+  sim::OneShot* CompletionShotFor(db::TxnId id);
+
+  // -- shared mechanics -----------------------------------------------------------
+
+  /// Sends a control message: sender CPU, network transfer, receiver CPU.
+  /// Endpoints equal to graph_endpoint() skip the CPU charge there — the
+  /// GraphSite accounts for its own message handling.
+  sim::Task<void> SendCtrl(db::SiteId from, db::SiteId to);
+
+  /// Conflict edges (dependent, predecessor) discovered at a site, delivered
+  /// to the completion tracker when the carrying message arrives.
+  using ConflictEdges = std::vector<std::pair<db::TxnId, db::TxnId>>;
+  void DeliverEdges(const ConflictEdges& edges);
+
+  /// Executes one operation's local cost at `s`: CPU plus a buffered page
+  /// read.
+  sim::Task<void> ExecuteOpCost(db::SiteId s);
+
+  /// True when committing `t` would install a write already masked by a
+  /// *terminal* newer writer: t would have to serialize before a transaction
+  /// whose position is final, so t must abort ("timestamp too old"). Since
+  /// every writer of an item originates at the item's primary site
+  /// (ownership rule), this check is purely local to the origination site.
+  bool HasStaleWriteVsTerminal(const txn::Transaction& t);
+
+  /// Read-version records of a lock-free (two-version) reader.
+  using ReadVersions = std::vector<std::pair<db::ItemId, db::Timestamp>>;
+
+  /// Two-version read validation: a lock-free reader must not observe both
+  /// a pre-W and a post-W version across one writer W's atomically installed
+  /// write set (a "torn" read — the tear the read locks used to prevent).
+  /// Returns true when the read set is torn and the reader must abort.
+  bool HasTornReads(const ReadVersions& reads);
+
+  /// Applies `t`'s write set to `s`'s store under the Thomas Write Rule,
+  /// charging disk writes, and collects the conflict edges the applies
+  /// produce. Locks are the caller's responsibility.
+  ///
+  /// With `at_origin` true the conflict edges are delivered to the tracker
+  /// immediately (the conflicting transactions are co-located with the
+  /// origination site, so no network transfer is involved) and the returned
+  /// list is empty; the store mutation happens synchronously before any
+  /// disk await so no concurrent apply can interleave.
+  sim::Task<ConflictEdges> ApplyWrites(db::SiteId s, const txn::Transaction& t,
+                                       bool at_origin = false);
+
+  /// Test-only hook: record reads/commits for serializability checking.
+  void set_history(HistoryRecorder* history) { history_ = history; }
+  HistoryRecorder* history() { return history_; }
+
+  const char* protocol_name() const;
+
+ private:
+  friend class proto::Protocol;
+
+  sim::Process GeneratorProcess(db::SiteId s, sim::RandomStream rng);
+  sim::Process GatedExecute(txn::Transaction* t);
+  void Submit(db::SiteId s, sim::RandomStream* rng);
+  void OnTrackerCompleted(db::TxnId id);
+  void ResetAllStats();
+  void Freeze(MetricsSnapshot* snap);
+
+  SystemConfig config_;
+  ProtocolKind kind_;
+  sim::Simulation sim_;
+  txn::WorkloadGenerator generator_;
+  std::vector<std::unique_ptr<Site>> sites_;
+  std::unique_ptr<net::StarNetwork> network_;
+  std::unique_ptr<hw::Cpu> graph_cpu_;
+  std::unique_ptr<rg::ReplicationGraph> rgraph_;
+  std::unique_ptr<rg::GraphSite> graph_site_;
+  db::CompletionTracker tracker_;
+  Metrics metrics_;
+  std::unique_ptr<proto::Protocol> protocol_;
+  std::unordered_map<db::TxnId, std::unique_ptr<txn::Transaction>> txns_;
+  std::unordered_map<db::TxnId, std::unique_ptr<sim::OneShot>>
+      completion_shots_;
+  HistoryRecorder* history_ = nullptr;
+
+  // Read-only gatekeeper (§4.3 extension): per-site running count + queue.
+  std::vector<int> gate_running_;
+  std::vector<std::deque<sim::OneShot*>> gate_queue_;
+  void GateRelease(const txn::Transaction& t);
+
+  uint64_t txn_counter_ = 0;
+  uint64_t submitted_ = 0;
+  uint64_t terminal_ = 0;  // aborted + completed, measured or not
+  std::vector<int> site_submitted_;
+  bool window_open_ = false;
+  bool done_ = false;
+  sim::SimTime window_start_ = 0;
+};
+
+}  // namespace lazyrep::core
+
+#endif  // LAZYREP_CORE_SYSTEM_H_

@@ -1,0 +1,45 @@
+#include "db/item_store.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace lazyrep::db {
+
+ItemStore::WriteResult ItemStore::ApplyWrite(ItemId item, Timestamp ts) {
+  Replica& r = replicas_[item];
+  WriteResult result;
+  if (ts > r.ts) {
+    result.applied = true;
+    result.other_writer = r.ts.txn;
+    result.prior_readers = std::move(r.readers);
+    r.readers.clear();
+    r.ts = ts;
+    ++writes_applied_;
+  } else {
+    // Thomas Write Rule: the write is ignored; logically it precedes the
+    // installed (newer) version, so its writer must precede r.ts.txn.
+    result.applied = false;
+    result.other_writer = r.ts.txn;
+    ++writes_ignored_;
+  }
+  return result;
+}
+
+Timestamp ItemStore::Read(ItemId item, TxnId reader) {
+  Replica& r = replicas_[item];
+  if (std::find(r.readers.begin(), r.readers.end(), reader) ==
+      r.readers.end()) {
+    r.readers.push_back(reader);
+  }
+  return r.ts;
+}
+
+void ItemStore::RemoveReader(TxnId reader, const std::vector<ItemId>& items) {
+  for (ItemId item : items) {
+    auto& readers = replicas_[item].readers;
+    readers.erase(std::remove(readers.begin(), readers.end(), reader),
+                  readers.end());
+  }
+}
+
+}  // namespace lazyrep::db

@@ -1,0 +1,72 @@
+#ifndef LAZYREP_DB_ITEM_STORE_H_
+#define LAZYREP_DB_ITEM_STORE_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "db/types.h"
+
+namespace lazyrep::db {
+
+/// One physical site's replica set: for every data item, the write timestamp
+/// of the locally installed version plus the readers of that version.
+///
+/// Writes follow the Thomas Write Rule (§2.1): a write whose transaction
+/// timestamp is older than the installed version's timestamp is ignored —
+/// the writer continues as if it had succeeded. Reader lists feed the
+/// local-serialization-order predecessor edges used by completion tracking.
+class ItemStore {
+ public:
+  explicit ItemStore(uint32_t num_items) : replicas_(num_items) {}
+
+  /// Outcome of a TWR write.
+  struct WriteResult {
+    /// False when the Thomas Write Rule ignored the write.
+    bool applied = false;
+    /// Transactions that read the version this write replaced (conflict
+    /// predecessors of the writer). Empty for an ignored write.
+    std::vector<TxnId> prior_readers;
+    /// Writer of the version this write replaced (ww predecessor), or the
+    /// newer writer that masked an ignored write (the ignored writer then
+    /// precedes `other_writer` in the serialization order).
+    TxnId other_writer = kNoTxn;
+  };
+
+  /// Applies (or ignores, per TWR) a write of `item` stamped `ts`.
+  WriteResult ApplyWrite(ItemId item, Timestamp ts);
+
+  /// Reads the installed version; registers `reader` against it. Returns the
+  /// version's write timestamp (ts.txn identifies the writer).
+  Timestamp Read(ItemId item, TxnId reader);
+
+  /// Current version timestamp without registering a reader.
+  Timestamp VersionOf(ItemId item) const { return replicas_[item].ts; }
+
+  /// Removes `reader`'s registrations (on abort or completion).
+  void RemoveReader(TxnId reader, const std::vector<ItemId>& items);
+
+  /// Readers registered against the current version of `item`.
+  const std::vector<TxnId>& ReadersOf(ItemId item) const {
+    return replicas_[item].readers;
+  }
+
+  uint32_t num_items() const { return static_cast<uint32_t>(replicas_.size()); }
+
+  uint64_t writes_applied() const { return writes_applied_; }
+  uint64_t writes_ignored() const { return writes_ignored_; }
+
+ private:
+  struct Replica {
+    Timestamp ts;  // zero: the initial database state
+    std::vector<TxnId> readers;
+  };
+
+  std::vector<Replica> replicas_;
+  uint64_t writes_applied_ = 0;
+  uint64_t writes_ignored_ = 0;
+};
+
+}  // namespace lazyrep::db
+
+#endif  // LAZYREP_DB_ITEM_STORE_H_

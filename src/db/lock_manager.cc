@@ -1,0 +1,178 @@
+#include "db/lock_manager.h"
+
+#include <algorithm>
+
+#include "sim/check.h"
+
+namespace lazyrep::db {
+
+bool LockManager::CompatibleWithHolders(const ItemLock& lock, TxnId txn,
+                                        LockMode mode) {
+  for (const auto& [holder, held_mode] : lock.holders) {
+    if (holder == txn) continue;
+    if (!LocksCompatible(mode, held_mode)) return false;
+  }
+  return true;
+}
+
+void LockManager::AddHolder(ItemLock* lock, TxnId txn, LockMode mode) {
+  for (auto& [holder, held_mode] : lock->holders) {
+    if (holder == txn) {
+      if (mode == LockMode::kUpdate) held_mode = LockMode::kUpdate;
+      return;
+    }
+  }
+  lock->holders.emplace_back(txn, mode);
+}
+
+sim::Task<sim::WaitStatus> LockManager::Acquire(TxnId txn, ItemId item,
+                                                LockMode mode,
+                                                sim::SimTime timeout) {
+  ItemLock& lock = locks_[item];
+
+  // Re-acquisition of an equal-or-weaker mode.
+  bool holds_any = false;
+  for (const auto& [holder, held_mode] : lock.holders) {
+    if (holder != txn) continue;
+    holds_any = true;
+    if (held_mode == LockMode::kUpdate || mode == LockMode::kShared) {
+      ++grants_;
+      co_return sim::WaitStatus::kSignaled;
+    }
+  }
+  bool is_upgrade = holds_any;  // holds kShared, wants kUpdate
+
+  // Immediate grant: compatible with holders, and either an upgrade (which
+  // jumps the queue) or no earlier waiter pending (FIFO fairness).
+  if (CompatibleWithHolders(lock, txn, mode) &&
+      (is_upgrade || lock.queue.empty())) {
+    AddHolder(&lock, txn, mode);
+    if (!holds_any) held_[txn].push_back(item);
+    ++grants_;
+    co_return sim::WaitStatus::kSignaled;
+  }
+
+  // Must wait.
+  ++waits_;
+  Waiter waiter(sim_);
+  waiter.txn = txn;
+  waiter.mode = mode;
+  waiter.is_upgrade = is_upgrade;
+  if (is_upgrade) {
+    lock.queue.push_front(&waiter);  // upgrades served before plain requests
+  } else {
+    lock.queue.push_back(&waiter);
+  }
+
+  sim::SimTime wait_start = sim_->Now();
+  sim::WaitStatus status = co_await waiter.shot.Wait(timeout);
+  wait_time_.Add(sim_->Now() - wait_start);
+
+  if (status != sim::WaitStatus::kSignaled) {
+    if (status == sim::WaitStatus::kTimeout) ++timeouts_;
+    // Remove ourselves from the queue; the lock entry may need pumping since
+    // our departure can unblock requests behind us.
+    ItemLock& lk = locks_[item];
+    auto it = std::find(lk.queue.begin(), lk.queue.end(), &waiter);
+    if (it != lk.queue.end()) lk.queue.erase(it);
+    PumpQueue(item, &lk);
+    MaybeErase(item);
+    co_return status;
+  }
+
+  // Granted by PumpQueue (which installed us as a holder).
+  ++grants_;
+  co_return sim::WaitStatus::kSignaled;
+}
+
+void LockManager::PumpQueue(ItemId item, ItemLock* lock) {
+  (void)item;
+  while (!lock->queue.empty()) {
+    Waiter* head = lock->queue.front();
+    if (!CompatibleWithHolders(*lock, head->txn, head->mode)) break;
+    lock->queue.pop_front();
+    bool already_held = false;
+    for (const auto& [holder, mode] : lock->holders) {
+      if (holder == head->txn) already_held = true;
+    }
+    AddHolder(lock, head->txn, head->mode);
+    if (!already_held) held_[head->txn].push_back(item);
+    head->shot.Fire(sim::WaitStatus::kSignaled);
+  }
+}
+
+void LockManager::MaybeErase(ItemId item) {
+  auto it = locks_.find(item);
+  if (it != locks_.end() && it->second.holders.empty() &&
+      it->second.queue.empty()) {
+    locks_.erase(it);
+  }
+}
+
+void LockManager::Release(TxnId txn, ItemId item) {
+  auto it = locks_.find(item);
+  if (it == locks_.end()) return;
+  ItemLock& lock = it->second;
+  auto h = std::find_if(lock.holders.begin(), lock.holders.end(),
+                        [txn](const auto& p) { return p.first == txn; });
+  if (h == lock.holders.end()) return;
+  lock.holders.erase(h);
+  auto held_it = held_.find(txn);
+  if (held_it != held_.end()) {
+    auto& items = held_it->second;
+    items.erase(std::remove(items.begin(), items.end(), item), items.end());
+    if (items.empty()) held_.erase(held_it);
+  }
+  PumpQueue(item, &lock);
+  MaybeErase(item);
+}
+
+void LockManager::ReleaseAll(TxnId txn) {
+  auto it = held_.find(txn);
+  if (it == held_.end()) return;
+  std::vector<ItemId> items = std::move(it->second);
+  held_.erase(it);
+  for (ItemId item : items) {
+    auto lit = locks_.find(item);
+    if (lit == locks_.end()) continue;
+    ItemLock& lock = lit->second;
+    auto h = std::find_if(lock.holders.begin(), lock.holders.end(),
+                          [txn](const auto& p) { return p.first == txn; });
+    if (h != lock.holders.end()) lock.holders.erase(h);
+    PumpQueue(item, &lock);
+    MaybeErase(item);
+  }
+}
+
+bool LockManager::Holds(TxnId txn, ItemId item, LockMode mode) const {
+  auto it = locks_.find(item);
+  if (it == locks_.end()) return false;
+  for (const auto& [holder, held_mode] : it->second.holders) {
+    if (holder != txn) continue;
+    return held_mode == LockMode::kUpdate || mode == LockMode::kShared;
+  }
+  return false;
+}
+
+size_t LockManager::HolderCount(ItemId item) const {
+  auto it = locks_.find(item);
+  return it == locks_.end() ? 0 : it->second.holders.size();
+}
+
+size_t LockManager::WaiterCount(ItemId item) const {
+  auto it = locks_.find(item);
+  return it == locks_.end() ? 0 : it->second.queue.size();
+}
+
+std::vector<ItemId> LockManager::HeldItems(TxnId txn) const {
+  auto it = held_.find(txn);
+  if (it == held_.end()) return {};
+  return it->second;
+}
+
+void LockManager::ResetStats() {
+  grants_ = waits_ = timeouts_ = 0;
+  wait_time_.Clear();
+}
+
+}  // namespace lazyrep::db

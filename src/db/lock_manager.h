@@ -1,0 +1,119 @@
+#ifndef LAZYREP_DB_LOCK_MANAGER_H_
+#define LAZYREP_DB_LOCK_MANAGER_H_
+
+#include <cstdint>
+#include <deque>
+#include <unordered_map>
+#include <vector>
+
+#include "db/types.h"
+#include "sim/condition.h"
+#include "sim/process.h"
+#include "sim/simulation.h"
+#include "sim/stats.h"
+
+namespace lazyrep::db {
+
+/// Lock modes of the local (and, in the locking protocol, primary-copy)
+/// concurrency control.
+///
+/// All three protocols synchronize ww conflicts with the Thomas Write Rule,
+/// so two writers never block each other: kUpdate is compatible with kUpdate
+/// but conflicts with kShared. This matches §2.2 ("read and update
+/// operations conflict") and §2.3.1 (no VS merge on ww).
+enum class LockMode : uint8_t {
+  kShared,  ///< read lock
+  kUpdate,  ///< write lock (TWR-synchronized against other writers)
+};
+
+/// Returns true when a `requested` lock may coexist with a `held` lock of
+/// another transaction.
+inline bool LocksCompatible(LockMode requested, LockMode held) {
+  return requested == held;  // S-S and U-U coexist; S-U conflicts
+}
+
+/// A two-phase-locking lock manager with FIFO queuing and timeout-based
+/// deadlock resolution (the paper manages deadlocks purely by timeout, §3).
+///
+/// One instance serves one physical site (the local DBMS's transaction
+/// manager); the locking protocol also uses the instances at primary sites
+/// for its global read/update locks.
+class LockManager {
+ public:
+  explicit LockManager(sim::Simulation* sim) : sim_(sim) {}
+  LockManager(const LockManager&) = delete;
+  LockManager& operator=(const LockManager&) = delete;
+
+  /// Acquires `mode` on `item` for `txn`, waiting at most `timeout` seconds.
+  /// Returns kSignaled on grant, kTimeout on deadlock-timeout. Re-acquiring
+  /// an already-held equal-or-weaker mode succeeds immediately; holding
+  /// kShared and requesting kUpdate performs an upgrade (upgrades are
+  /// evaluated against current holders only, jumping the FIFO queue, so an
+  /// upgrade cannot deadlock against ordinary queued requests).
+  sim::Task<sim::WaitStatus> Acquire(TxnId txn, ItemId item, LockMode mode,
+                                     sim::SimTime timeout);
+
+  /// Releases whatever lock `txn` holds on `item`. No-op if none held.
+  void Release(TxnId txn, ItemId item);
+
+  /// Releases all locks held by `txn`.
+  void ReleaseAll(TxnId txn);
+
+  /// True if `txn` currently holds at least `mode` on `item`.
+  bool Holds(TxnId txn, ItemId item, LockMode mode) const;
+
+  /// Number of transactions currently holding a lock on `item`.
+  size_t HolderCount(ItemId item) const;
+
+  /// Number of requests currently waiting on `item`.
+  size_t WaiterCount(ItemId item) const;
+
+  /// Locks currently held by `txn` (for diagnostics/tests).
+  std::vector<ItemId> HeldItems(TxnId txn) const;
+
+  // -- statistics ----------------------------------------------------------
+
+  uint64_t grants() const { return grants_; }
+  uint64_t waits() const { return waits_; }
+  uint64_t timeouts() const { return timeouts_; }
+  /// Waiting time of requests that had to wait (granted or timed out).
+  const sim::TallyStat& wait_time() const { return wait_time_; }
+  void ResetStats();
+
+ private:
+  struct Waiter {
+    explicit Waiter(sim::Simulation* sim) : shot(sim) {}
+    TxnId txn = kNoTxn;
+    LockMode mode = LockMode::kShared;
+    bool is_upgrade = false;
+    sim::OneShot shot;
+  };
+
+  struct ItemLock {
+    // (txn, mode) pairs; small in practice.
+    std::vector<std::pair<TxnId, LockMode>> holders;
+    std::deque<Waiter*> queue;
+  };
+
+  /// True when `txn` requesting `mode` is compatible with all other holders.
+  static bool CompatibleWithHolders(const ItemLock& lock, TxnId txn,
+                                    LockMode mode);
+  /// Installs/updates the holder entry.
+  static void AddHolder(ItemLock* lock, TxnId txn, LockMode mode);
+  /// Grants queued requests from the head while compatible.
+  void PumpQueue(ItemId item, ItemLock* lock);
+  /// Drops the lock entry if empty.
+  void MaybeErase(ItemId item);
+
+  sim::Simulation* sim_;
+  std::unordered_map<ItemId, ItemLock> locks_;
+  std::unordered_map<TxnId, std::vector<ItemId>> held_;
+  uint64_t grants_ = 0;
+  uint64_t waits_ = 0;
+  uint64_t timeouts_ = 0;
+  sim::TallyStat wait_time_;
+};
+
+}  // namespace lazyrep::db
+
+#endif  // LAZYREP_DB_LOCK_MANAGER_H_

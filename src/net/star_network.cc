@@ -1,0 +1,74 @@
+#include "net/star_network.h"
+
+#include <algorithm>
+#include <string>
+#include <utility>
+
+#include "sim/check.h"
+
+namespace lazyrep::net {
+
+StarNetwork::StarNetwork(sim::Simulation* sim, int num_sites,
+                         const NetworkParams& params)
+    : sim_(sim), params_(params) {
+  LAZYREP_CHECK(num_sites >= 1);
+  outgoing_.reserve(num_sites);
+  incoming_.reserve(num_sites);
+  for (int i = 0; i < num_sites; ++i) {
+    outgoing_.push_back(std::make_unique<sim::Facility>(
+        sim, "out_link_" + std::to_string(i)));
+    incoming_.push_back(std::make_unique<sim::Facility>(
+        sim, "in_link_" + std::to_string(i)));
+  }
+}
+
+sim::Task<void> StarNetwork::Transfer(db::SiteId src, db::SiteId dst,
+                                      size_t bytes) {
+  double tx = TransmitTime(bytes);
+  co_await outgoing_[src]->Use(tx);
+  co_await sim_->Delay(params_.latency);
+  co_await incoming_[dst]->Use(tx);
+  ++messages_delivered_;
+}
+
+sim::Process StarNetwork::DeliverLeg(
+    db::SiteId dst, size_t bytes,
+    std::function<void(db::SiteId)> on_delivered) {
+  co_await sim_->Delay(params_.latency);
+  co_await incoming_[dst]->Use(TransmitTime(bytes));
+  ++messages_delivered_;
+  if (on_delivered) on_delivered(dst);
+}
+
+sim::Task<void> StarNetwork::Multicast(
+    db::SiteId src, const std::vector<db::SiteId>& dsts, size_t bytes,
+    std::function<void(db::SiteId)> on_delivered) {
+  // The switch replicates the packet: the sender's outgoing link carries the
+  // message exactly once, then each recipient's incoming link is used.
+  co_await outgoing_[src]->Use(TransmitTime(bytes));
+  for (db::SiteId dst : dsts) {
+    sim_->Spawn(DeliverLeg(dst, bytes, on_delivered));
+  }
+}
+
+double StarNetwork::MeanUtilization() const {
+  double sum = 0;
+  for (const auto& f : outgoing_) sum += f->Utilization();
+  for (const auto& f : incoming_) sum += f->Utilization();
+  return sum / static_cast<double>(outgoing_.size() + incoming_.size());
+}
+
+double StarNetwork::MaxUtilization() const {
+  double mx = 0;
+  for (const auto& f : outgoing_) mx = std::max(mx, f->Utilization());
+  for (const auto& f : incoming_) mx = std::max(mx, f->Utilization());
+  return mx;
+}
+
+void StarNetwork::ResetStats() {
+  for (auto& f : outgoing_) f->ResetStats();
+  for (auto& f : incoming_) f->ResetStats();
+  messages_delivered_ = 0;
+}
+
+}  // namespace lazyrep::net

@@ -1,0 +1,78 @@
+#ifndef LAZYREP_NET_STAR_NETWORK_H_
+#define LAZYREP_NET_STAR_NETWORK_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "db/types.h"
+#include "sim/facility.h"
+#include "sim/process.h"
+#include "sim/simulation.h"
+
+namespace lazyrep::net {
+
+/// Parameters for the simulated ATM network (Table 1 of the paper).
+struct NetworkParams {
+  /// One-way switch latency in seconds (OC-3: 0.004, OC-1: 0.1).
+  double latency = 0.004;
+  /// Link bandwidth in bits per second (OC-3: 155e6, OC-1: 55e6).
+  double bandwidth_bps = 155e6;
+};
+
+/// The paper's network: a star with an ATM switch at the center. Every site
+/// has a dedicated outgoing link and incoming link to the switch. Sending a
+/// packet occupies the sender's outgoing link for the transmission time, is
+/// delayed by the switch latency, then occupies the receiver's incoming link.
+///
+/// Multicast/broadcast use the sender's outgoing link exactly once per
+/// message; every recipient's incoming link is used on reception (§3).
+class StarNetwork {
+ public:
+  StarNetwork(sim::Simulation* sim, int num_sites, const NetworkParams& params);
+
+  /// Point-to-point transfer of `bytes`; completes at delivery time.
+  sim::Task<void> Transfer(db::SiteId src, db::SiteId dst, size_t bytes);
+
+  /// Multicast `bytes` from `src` to every site in `dsts`. `on_delivered`
+  /// runs (in simulated time) as each recipient finishes receiving. Returns
+  /// after the sender's outgoing link is released (i.e., after the single
+  /// send-side transmission).
+  sim::Task<void> Multicast(db::SiteId src, const std::vector<db::SiteId>& dsts,
+                            size_t bytes,
+                            std::function<void(db::SiteId)> on_delivered);
+
+  /// Seconds to push `bytes` through one link.
+  double TransmitTime(size_t bytes) const {
+    return static_cast<double>(bytes) * 8.0 / params_.bandwidth_bps;
+  }
+
+  /// Mean utilization over all links (both directions).
+  double MeanUtilization() const;
+
+  /// Highest per-link utilization.
+  double MaxUtilization() const;
+
+  /// Total messages delivered (multicast counts one per recipient).
+  uint64_t messages_delivered() const { return messages_delivered_; }
+
+  void ResetStats();
+
+  int num_sites() const { return static_cast<int>(incoming_.size()); }
+  const NetworkParams& params() const { return params_; }
+
+ private:
+  sim::Process DeliverLeg(db::SiteId dst, size_t bytes,
+                          std::function<void(db::SiteId)> on_delivered);
+
+  sim::Simulation* sim_;
+  NetworkParams params_;
+  std::vector<std::unique_ptr<sim::Facility>> outgoing_;
+  std::vector<std::unique_ptr<sim::Facility>> incoming_;
+  uint64_t messages_delivered_ = 0;
+};
+
+}  // namespace lazyrep::net
+
+#endif  // LAZYREP_NET_STAR_NETWORK_H_

@@ -1,0 +1,72 @@
+#ifndef LAZYREP_PROTOCOLS_LOCKING_PROTOCOL_H_
+#define LAZYREP_PROTOCOLS_LOCKING_PROTOCOL_H_
+
+#include <memory>
+#include <vector>
+
+#include "core/system.h"
+#include "protocols/protocol.h"
+#include "sim/condition.h"
+
+namespace lazyrep::proto {
+
+/// The global locking protocol (§2.2; Gray et al. [10], precise version [6]).
+///
+/// * Every read takes a read lock at the item's *primary* site — a network
+///   round trip when the primary is remote; read locks are retained until
+///   the transaction completes.
+/// * Every write takes an update lock on the primary copy (the origination
+///   site, by the ownership rule) which conflicts with readers only (ww is
+///   synchronized by the Thomas Write Rule) and is held until every replica
+///   has been updated.
+/// * Deadlocks resolve by timeout. The dedicated graph site is unused.
+/// * Completion notices are multicast so that dependents' read locks release
+///   and their completion fixpoints advance (deferred-cascade tracking).
+class LockingProtocol : public Protocol {
+ public:
+  explicit LockingProtocol(core::System* system) : Protocol(system) {}
+
+  sim::Process Execute(txn::Transaction* t) override;
+  void OnRegister(txn::Transaction* t) override;
+  void OnCompleted(txn::Transaction* t) override;
+  const char* name() const override { return "Locking"; }
+
+ private:
+  struct ExecState {
+    explicit ExecState(int num_ops) { statuses.resize(num_ops); }
+    /// Per-operation lock grant slots (pipelined acquisition).
+    std::vector<std::unique_ptr<sim::OneShot>> grants;
+    std::vector<sim::WaitStatus> statuses;
+    /// Items whose (possibly remote) global read lock was granted, by
+    /// primary site, for release on abort/completion.
+    std::vector<std::pair<db::SiteId, db::ItemId>> granted_remote_reads;
+    /// Conflict edges discovered at the origination site.
+    core::System::ConflictEdges edges;
+    bool aborted = false;
+  };
+  using StatePtr = std::shared_ptr<ExecState>;
+
+  /// Acquires the global lock for operation `index` and fires its grant slot.
+  sim::Process FetchLock(txn::Transaction* t, int index, StatePtr st);
+
+  /// Installs the write set at a remote site, acks to the origin, then
+  /// reports conflict edges and the subtransaction commit.
+  sim::Process Installer(txn::Transaction* t, db::SiteId dst,
+                         sim::Countdown* acks);
+
+  /// Abort path: release everything, notify the tracker and metrics.
+  void AbortNow(txn::Transaction* t, StatePtr st);
+
+  /// Sends asynchronous read-lock releases for remotely held locks.
+  sim::Process ReleaseRemoteReads(db::TxnId id,
+                                  std::vector<std::pair<db::SiteId, db::ItemId>>
+                                      granted);
+
+  /// Multicasts the completion notice; receivers release the transaction's
+  /// relayed read locks and advance their local completion fixpoints.
+  sim::Process BroadcastCompletion(db::TxnId id, db::SiteId origin);
+};
+
+}  // namespace lazyrep::proto
+
+#endif  // LAZYREP_PROTOCOLS_LOCKING_PROTOCOL_H_

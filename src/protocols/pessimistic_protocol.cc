@@ -1,0 +1,208 @@
+#include "protocols/pessimistic_protocol.h"
+
+#include <utility>
+
+#include "sim/check.h"
+
+namespace lazyrep::proto {
+
+using core::System;
+using db::LockMode;
+using sim::WaitStatus;
+
+void PessimisticProtocol::OnRegister(txn::Transaction* t) {
+  // A global (update) transaction commits at its origin plus every replica
+  // target; a read-only transaction only at its origin.
+  int remaining = 1;
+  if (t->is_update) {
+    remaining += static_cast<int>(sys_->ReplicaTargets(*t, t->origin).size());
+  }
+  sys_->tracker().SetRemainingCommits(t->id, remaining);
+}
+
+sim::Process PessimisticProtocol::OpTester(txn::Transaction* t, int index,
+                                           StatePtr st) {
+  co_await sys_->SendCtrl(t->origin, sys_->graph_endpoint());
+  rg::Verdict v = co_await sys_->graph_site()->TestOperation(
+      t->id, t->origin, t->is_update, t->ops[index]);
+  co_await sys_->SendCtrl(sys_->graph_endpoint(), t->origin);
+  st->verdicts[index] = v;
+  st->slots[index]->Fire(v == rg::Verdict::kOk ? WaitStatus::kSignaled
+                                               : WaitStatus::kCancelled);
+}
+
+void PessimisticProtocol::AbortLocal(txn::Transaction* t, StatePtr st,
+                                     bool notify_graph) {
+  st->aborted = true;
+  sys_->site(t->origin).locks.ReleaseAll(t->id);
+  sys_->NoteAborted(t);
+  if (notify_graph) {
+    sys_->sim().Spawn(AbortNotice(t->id, t->origin));
+  }
+}
+
+sim::Process PessimisticProtocol::AbortNotice(db::TxnId id,
+                                              db::SiteId origin) {
+  co_await sys_->SendCtrl(origin, sys_->graph_endpoint());
+  co_await sys_->graph_site()->HandleRemove(id);
+}
+
+sim::Process PessimisticProtocol::CommitNotice(txn::Transaction* t,
+                                               StatePtr st) {
+  co_await sys_->SendCtrl(t->origin, sys_->graph_endpoint());
+  co_await sys_->graph_site()->HandleCommitted(t->id);
+  sys_->DeliverEdges(st->edges);
+  sys_->tracker().OnSubtxnCommitted(t->id);
+}
+
+sim::Process PessimisticProtocol::Installer(txn::Transaction* t,
+                                            db::SiteId dst) {
+  const core::SystemConfig& cfg = sys_->config();
+  core::Site& site = sys_->site(dst);
+  co_await site.cpu.Execute(cfg.message_instr);
+
+  std::vector<db::ItemId> held;
+  size_t next = 0;
+  while (next < t->write_set.size()) {
+    db::ItemId item = t->write_set[next];
+    if (!cfg.HasReplica(item, dst)) {
+      ++next;
+      continue;
+    }
+    WaitStatus s = co_await site.locks.Acquire(t->id, item, LockMode::kUpdate,
+                                               cfg.timeout);
+    if (s == WaitStatus::kSignaled) {
+      held.push_back(item);
+      ++next;
+      continue;
+    }
+    for (db::ItemId h : held) site.locks.Release(t->id, h);
+    held.clear();
+    next = 0;  // local deadlock: restart the subtransaction
+  }
+
+  for (size_t i = 0; i < held.size(); ++i) {
+    co_await site.cpu.Execute(cfg.op_instr);
+  }
+  System::ConflictEdges edges = co_await sys_->ApplyWrites(dst, *t);
+  co_await site.disk.ForceLog(cfg.log_bytes);
+  for (db::ItemId h : held) site.locks.Release(t->id, h);
+
+  // Ack to the graph site: carries this site's conflict predecessors and the
+  // subtransaction commit.
+  co_await sys_->SendCtrl(dst, sys_->graph_endpoint());
+  co_await sys_->graph_site()->ChargeMessages(1);
+  sys_->DeliverEdges(edges);
+  sys_->tracker().OnSubtxnCommitted(t->id);
+}
+
+sim::Process PessimisticProtocol::Execute(txn::Transaction* t) {
+  const core::SystemConfig& cfg = sys_->config();
+  core::Site& origin = sys_->site(t->origin);
+  auto st = std::make_shared<ExecState>(t->num_ops());
+  System::ReadVersions read_versions;
+  const bool lock_free_reads = cfg.two_version_reads && !t->is_update;
+  st->slots.reserve(t->num_ops());
+  for (int i = 0; i < t->num_ops(); ++i) {
+    st->slots.push_back(std::make_unique<sim::OneShot>(&sys_->sim()));
+  }
+  if (cfg.pipelined_dispatch) {
+    for (int i = 0; i < t->num_ops(); ++i) {
+      sys_->sim().Spawn(OpTester(t, i, st));
+    }
+  }
+
+  for (int i = 0; i < t->num_ops(); ++i) {
+    if (!cfg.pipelined_dispatch) sys_->sim().Spawn(OpTester(t, i, st));
+    co_await st->slots[i]->Wait();
+    if (st->verdicts[i] != rg::Verdict::kOk) {
+      // The graph site already removed us (cycle abort / rejection / wait
+      // timeout): only local cleanup remains.
+      AbortLocal(t, st, /*notify_graph=*/false);
+      co_return;
+    }
+    const db::Operation& op = t->ops[i];
+    LockMode mode = op.type == db::OpType::kRead ? LockMode::kShared
+                                                 : LockMode::kUpdate;
+    WaitStatus ls = lock_free_reads
+                        ? WaitStatus::kSignaled  // two-version readers
+                        : co_await origin.locks.Acquire(t->id, op.item, mode,
+                                                        cfg.timeout);
+    if (ls != WaitStatus::kSignaled) {
+      AbortLocal(t, st, /*notify_graph=*/true);
+      co_return;
+    }
+    co_await sys_->ExecuteOpCost(t->origin);
+    if (op.type == db::OpType::kRead) {
+      db::Timestamp version = origin.store.Read(op.item, t->id);
+      if (sys_->history() != nullptr) {
+        sys_->history()->RecordRead(t->id, op.item, version);
+      }
+      if (version.txn != db::kNoTxn) {
+        st->edges.emplace_back(t->id, version.txn);
+      }
+      if (lock_free_reads) read_versions.emplace_back(op.item, version);
+    }
+  }
+
+  // Two-version read validation (§4.3 exploration): abort on torn reads.
+  if (lock_free_reads && sys_->HasTornReads(read_versions)) {
+    AbortLocal(t, st, /*notify_graph=*/true);
+    co_return;
+  }
+
+  sys_->StampCommitTimestamp(t);
+  // Commit at the origination site. A write masked by a terminal newer
+  // writer cannot serialize anywhere: abort ("timestamp too old").
+  if (t->is_update) {
+    if (sys_->HasStaleWriteVsTerminal(*t)) {
+      AbortLocal(t, st, /*notify_graph=*/true);
+      co_return;
+    }
+    // Conflict edges from the origin apply deliver instantly: every party
+    // (co-owners by the ownership rule, local readers) executes here.
+    co_await sys_->ApplyWrites(t->origin, *t, /*at_origin=*/true);
+  }
+  if (t->is_update) {
+    co_await origin.disk.ForceLog(cfg.log_bytes);  // read-only commits write
+  }                                                // no redo records
+  sys_->NoteCommitted(t);
+
+  // Strict 2PL at the local DBMS: locks fall at local commit (the
+  // replication graph, not retained locks, guards global serializability).
+  origin.locks.ReleaseAll(t->id);
+
+  sys_->sim().Spawn(CommitNotice(t, st));
+
+  if (t->is_update) {
+    std::vector<db::SiteId> targets = sys_->ReplicaTargets(*t, t->origin);
+    if (!targets.empty()) {
+      size_t bytes = cfg.propagation_overhead_bytes +
+                     t->write_set.size() * cfg.item_bytes;
+      co_await origin.cpu.Execute(cfg.message_instr);
+      co_await sys_->network().Multicast(
+          t->origin, targets, bytes, [this, t](db::SiteId dst) {
+            sys_->sim().Spawn(Installer(t, dst));
+          });
+    }
+  }
+  // Completion is detected at the graph site (tracker); nothing to hold here.
+}
+
+void PessimisticProtocol::OnCompleted(txn::Transaction* t) {
+  // Split rule + retests at the graph site, then a completion notice to the
+  // origination site.
+  struct Remover {
+    static sim::Process Run(core::System* sys, db::TxnId id) {
+      co_await sys->graph_site()->HandleRemove(id);
+    }
+  };
+  sys_->sim().Spawn(Remover::Run(sys_, t->id));
+  sys_->sim().Spawn(CompletionNotice(t->origin));
+}
+
+sim::Process PessimisticProtocol::CompletionNotice(db::SiteId origin) {
+  co_await sys_->SendCtrl(sys_->graph_endpoint(), origin);
+}
+
+}  // namespace lazyrep::proto

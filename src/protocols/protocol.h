@@ -1,0 +1,43 @@
+#ifndef LAZYREP_PROTOCOLS_PROTOCOL_H_
+#define LAZYREP_PROTOCOLS_PROTOCOL_H_
+
+#include "sim/process.h"
+#include "txn/transaction.h"
+
+namespace lazyrep::core {
+class System;
+}  // namespace lazyrep::core
+
+namespace lazyrep::proto {
+
+/// A replication-management protocol: drives a transaction's whole lifecycle
+/// (execution at the origination site, commit, lazy replica propagation,
+/// completion) against the shared System substrate.
+class Protocol {
+ public:
+  explicit Protocol(core::System* system) : sys_(system) {}
+  virtual ~Protocol() = default;
+  Protocol(const Protocol&) = delete;
+  Protocol& operator=(const Protocol&) = delete;
+
+  /// The transaction's top-level process, spawned at submission time.
+  virtual sim::Process Execute(txn::Transaction* t) = 0;
+
+  /// Called at submission, before Execute: protocol-specific registration
+  /// (e.g. how many site-level commits completion requires).
+  virtual void OnRegister(txn::Transaction* t) = 0;
+
+  /// Called the instant the completion tracker declares `t` completed:
+  /// protocol-specific teardown (lock releases, completion notices,
+  /// replication-graph removal).
+  virtual void OnCompleted(txn::Transaction* t) = 0;
+
+  virtual const char* name() const = 0;
+
+ protected:
+  core::System* sys_;
+};
+
+}  // namespace lazyrep::proto
+
+#endif  // LAZYREP_PROTOCOLS_PROTOCOL_H_

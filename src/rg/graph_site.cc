@@ -1,0 +1,229 @@
+#include "rg/graph_site.h"
+
+#include <algorithm>
+#include <memory>
+#include <utility>
+
+#include "sim/check.h"
+
+namespace lazyrep::rg {
+
+GraphSite::GraphSite(sim::Simulation* sim, hw::Cpu* cpu,
+                     ReplicationGraph* graph, const GraphSiteParams& params)
+    : sim_(sim), cpu_(cpu), graph_(graph), params_(params) {}
+
+void GraphSite::EnsureRegistered(db::TxnId txn, db::SiteId origin,
+                                 bool is_global) {
+  if (!graph_->Contains(txn)) graph_->AddTxn(txn, origin, is_global);
+}
+
+sim::Task<sim::WaitStatus> GraphSite::ServeTest(
+    db::TxnId txn, std::vector<db::Operation> ops, bool bounded,
+    ReplicationGraph::TestOutcome* outcome) {
+  ++tests_run_;
+  auto work = [this, txn, ops = std::move(ops), outcome]() -> double {
+    if (finished_.contains(txn)) {
+      // The transaction was aborted while this request sat in the queue;
+      // treat as an abort verdict without touching the graph.
+      outcome->result = ReplicationGraph::TestResult::kCycle;
+      outcome->cycle_has_committed = true;
+      return params_.message_instr;
+    }
+    GraphCost cost;
+    *outcome = graph_->RgTest(txn, ops, &cost);
+    return params_.message_instr +
+           cost.Instructions(params_.add_instr, params_.check_instr_per_edge);
+  };
+  co_return co_await cpu_->Serve(std::move(work),
+                                 bounded ? params_.queue_bound : SIZE_MAX);
+}
+
+sim::Task<void> GraphSite::RemoveUnderCpu(db::TxnId txn) {
+  if (finished_.contains(txn)) co_return;
+  finished_.insert(txn);
+  CancelParked(txn);
+  co_await cpu_->Serve(
+      [this, txn]() -> double {
+        GraphCost cost;
+        graph_->Remove(txn, &cost);
+        return params_.message_instr + cost.Instructions(
+                                           params_.add_instr,
+                                           params_.check_instr_per_edge);
+      },
+      SIZE_MAX);
+  ScheduleRetest();
+}
+
+sim::Task<Verdict> GraphSite::TestOperation(db::TxnId txn, db::SiteId origin,
+                                            bool is_global, db::Operation op) {
+  if (finished_.contains(txn)) co_return Verdict::kAbort;
+  EnsureRegistered(txn, origin, is_global);
+
+  ReplicationGraph::TestOutcome outcome;
+  std::vector<db::Operation> single{op};
+  sim::WaitStatus status =
+      co_await ServeTest(txn, std::move(single), /*bounded=*/true, &outcome);
+  if (status == sim::WaitStatus::kRejected) {
+    // Queue overflow (§4.1.2): the new entrant is aborted.
+    ++rejections_;
+    co_await RemoveUnderCpu(txn);
+    co_return Verdict::kRejected;
+  }
+  if (outcome.result == ReplicationGraph::TestResult::kOk) {
+    co_return Verdict::kOk;
+  }
+  if (outcome.cycle_has_committed) {
+    // §2.4 step 2: a cycle through a committed transaction cannot resolve in
+    // our favor — abort.
+    ++cycle_aborts_;
+    co_await RemoveUnderCpu(txn);
+    co_return Verdict::kAbort;
+  }
+  // Cycle of uncommitted transactions: wait for the graph to shrink.
+  co_return co_await ParkAndWait(txn, op);
+}
+
+sim::Task<Verdict> GraphSite::ParkAndWait(db::TxnId txn, db::Operation op) {
+  ++waits_;
+  auto parked = std::make_shared<ParkedOp>(sim_);
+  parked->txn = txn;
+  parked->op = op;
+  auto& queue = parked_[txn];
+  if (queue.empty()) wait_order_.push_back(txn);
+  // The deque stores raw pointers; the shared_ptr copies held here and by the
+  // retest pump keep the object alive across removal races.
+  queue.push_back(parked.get());
+  keepalive_.emplace(parked.get(), parked);
+  ++parked_count_;
+
+  sim::WaitStatus status = co_await parked->shot.Wait(params_.wait_timeout);
+  if (status == sim::WaitStatus::kSignaled) {
+    keepalive_.erase(parked.get());
+    co_return Verdict::kOk;
+  }
+  if (status == sim::WaitStatus::kTimeout) {
+    // Deadlock-timeout while waiting (§3): abort the transaction.
+    ++wait_timeouts_;
+    Unpark(parked.get());
+    keepalive_.erase(parked.get());
+    co_await RemoveUnderCpu(txn);
+    co_return Verdict::kAbort;
+  }
+  // kCancelled: the transaction was aborted through another path.
+  keepalive_.erase(parked.get());
+  co_return Verdict::kAbort;
+}
+
+void GraphSite::Unpark(ParkedOp* parked) {
+  auto it = parked_.find(parked->txn);
+  if (it == parked_.end()) return;
+  auto& queue = it->second;
+  auto qit = std::find(queue.begin(), queue.end(), parked);
+  if (qit != queue.end()) {
+    queue.erase(qit);
+    --parked_count_;
+  }
+  if (queue.empty()) parked_.erase(it);
+}
+
+void GraphSite::CancelParked(db::TxnId txn) {
+  auto it = parked_.find(txn);
+  if (it == parked_.end()) return;
+  std::deque<ParkedOp*> queue = std::move(it->second);
+  parked_.erase(it);
+  parked_count_ -= queue.size();
+  for (ParkedOp* p : queue) {
+    p->shot.Fire(sim::WaitStatus::kCancelled);
+  }
+}
+
+void GraphSite::ScheduleRetest() {
+  retest_pending_ = true;
+  if (!retest_running_) {
+    retest_running_ = true;
+    sim_->Spawn(RetestPump());
+  }
+}
+
+sim::Process GraphSite::RetestPump() {
+  while (retest_pending_) {
+    retest_pending_ = false;
+    size_t rounds = wait_order_.size();
+    for (size_t i = 0; i < rounds && !wait_order_.empty(); ++i) {
+      db::TxnId txn = wait_order_.front();
+      wait_order_.pop_front();
+      bool still_parked = false;
+      while (true) {
+        auto it = parked_.find(txn);
+        if (it == parked_.end() || it->second.empty()) break;
+        ParkedOp* head_raw = it->second.front();
+        std::shared_ptr<ParkedOp> head = keepalive_.at(head_raw);
+        ReplicationGraph::TestOutcome outcome;
+        std::vector<db::Operation> single{head->op};
+        co_await ServeTest(txn, std::move(single), /*bounded=*/false, &outcome);
+        if (finished_.contains(txn)) break;
+        if (outcome.result == ReplicationGraph::TestResult::kOk) {
+          auto it2 = parked_.find(txn);
+          if (it2 != parked_.end() && !it2->second.empty() &&
+              it2->second.front() == head.get()) {
+            it2->second.pop_front();
+            --parked_count_;
+            if (it2->second.empty()) parked_.erase(it2);
+          }
+          head->shot.Fire(sim::WaitStatus::kSignaled);
+          continue;  // try this transaction's next parked op
+        }
+        if (outcome.cycle_has_committed) {
+          ++cycle_aborts_;
+          co_await RemoveUnderCpu(txn);  // cancels remaining parked ops
+          break;
+        }
+        still_parked = true;  // still blocked by live transactions
+        break;
+      }
+      if (still_parked) wait_order_.push_back(txn);
+    }
+  }
+  retest_running_ = false;
+}
+
+sim::Task<Verdict> GraphSite::TestCommit(db::TxnId txn, db::SiteId origin,
+                                         bool is_global,
+                                         std::vector<db::Operation> ops) {
+  if (finished_.contains(txn)) co_return Verdict::kAbort;
+  EnsureRegistered(txn, origin, is_global);
+
+  ReplicationGraph::TestOutcome outcome;
+  sim::WaitStatus status =
+      co_await ServeTest(txn, std::move(ops), /*bounded=*/true, &outcome);
+  if (status == sim::WaitStatus::kRejected) {
+    ++rejections_;
+    co_await RemoveUnderCpu(txn);
+    co_return Verdict::kRejected;
+  }
+  if (outcome.result == ReplicationGraph::TestResult::kOk) {
+    co_return Verdict::kOk;
+  }
+  // §2.5 step 4: cancel tentative changes (RgTest already rolled back) and
+  // abort; the transaction leaves the graph.
+  ++cycle_aborts_;
+  co_await RemoveUnderCpu(txn);
+  co_return Verdict::kAbort;
+}
+
+sim::Task<void> GraphSite::HandleCommitted(db::TxnId txn) {
+  co_await cpu_->Execute(params_.message_instr);
+  if (!finished_.contains(txn) && graph_->Contains(txn)) {
+    graph_->MarkCommitted(txn);
+  }
+}
+
+sim::Task<void> GraphSite::HandleRemove(db::TxnId txn) {
+  co_await RemoveUnderCpu(txn);
+}
+
+sim::Task<void> GraphSite::ChargeMessages(int count) {
+  co_await cpu_->Execute(params_.message_instr * count);
+}
+
+}  // namespace lazyrep::rg

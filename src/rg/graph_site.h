@@ -1,0 +1,157 @@
+#ifndef LAZYREP_RG_GRAPH_SITE_H_
+#define LAZYREP_RG_GRAPH_SITE_H_
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "db/types.h"
+#include "hw/cpu.h"
+#include "rg/replication_graph.h"
+#include "sim/condition.h"
+#include "sim/process.h"
+#include "sim/simulation.h"
+
+namespace lazyrep::rg {
+
+/// Configuration of the replication-graph manager (Table 1).
+struct GraphSiteParams {
+  /// Bound on the request queue; overflowing requests are rejected and their
+  /// transactions aborted (§4.1.2, bound of 300).
+  size_t queue_bound = 300;
+  /// How long a pessimistic request may wait on a cycle before aborting
+  /// (the deadlock-timeout interval, 0.5 s).
+  double wait_timeout = 0.5;
+  /// Instructions to add one operation to the graph.
+  double add_instr = 2000;
+  /// Instructions per edge examined during cycle checking.
+  double check_instr_per_edge = 117;
+  /// Instructions to receive/decode one protocol message at the graph site.
+  double message_instr = 1000;
+};
+
+/// Outcome of a graph-site request, as seen by the requesting transaction.
+enum class Verdict : uint8_t {
+  kOk,        ///< operation / commit admitted
+  kAbort,     ///< cycle through a committed transaction, wait timeout, or
+              ///< optimistic-commit cycle: the transaction must abort
+  kRejected,  ///< bounded queue overflow: the transaction must abort
+};
+
+/// The dedicated graph site of §3: a single-threaded server that owns the
+/// global replication graph, charges the paper's instruction costs to its
+/// CPU, bounds its request queue, parks pessimistic requests whose RGtest
+/// found a cycle without a committed transaction, and retests them whenever
+/// the graph shrinks.
+class GraphSite {
+ public:
+  GraphSite(sim::Simulation* sim, hw::Cpu* cpu, ReplicationGraph* graph,
+            const GraphSiteParams& params);
+  GraphSite(const GraphSite&) = delete;
+  GraphSite& operator=(const GraphSite&) = delete;
+
+  /// Pessimistic per-operation RGtest (protocol §2.4 step 2). Invoke at the
+  /// simulated instant the request message reaches the graph site. The task
+  /// resolves when a verdict exists — possibly after waiting.
+  sim::Task<Verdict> TestOperation(db::TxnId txn, db::SiteId origin,
+                                   bool is_global, db::Operation op);
+
+  /// Optimistic commit-time RGtest over the whole access set (§2.5 step 4).
+  /// kAbort removes the transaction from the graph immediately.
+  sim::Task<Verdict> TestCommit(db::TxnId txn, db::SiteId origin,
+                                bool is_global,
+                                std::vector<db::Operation> ops);
+
+  /// Marks a transaction committed at its origination site (pessimistic
+  /// cycle-abort rule input).
+  sim::Task<void> HandleCommitted(db::TxnId txn);
+
+  /// Removes a transaction on abort or completion: split rule, then retest
+  /// of waiting requests. Idempotent.
+  sim::Task<void> HandleRemove(db::TxnId txn);
+
+  /// Charges the CPU for handling `count` protocol messages that carry no
+  /// graph work (acks, completion notices).
+  sim::Task<void> ChargeMessages(int count);
+
+  /// True once the transaction was removed (aborted or completed here).
+  bool IsFinished(db::TxnId txn) const { return finished_.contains(txn); }
+
+  // -- statistics ------------------------------------------------------------
+
+  uint64_t tests_run() const { return tests_run_; }
+  uint64_t waits() const { return waits_; }
+  uint64_t wait_timeouts() const { return wait_timeouts_; }
+  uint64_t rejections() const { return rejections_; }
+  uint64_t cycle_aborts() const { return cycle_aborts_; }
+  size_t parked_requests() const { return parked_count_; }
+
+  hw::Cpu* cpu() { return cpu_; }
+  ReplicationGraph* graph() { return graph_; }
+  const GraphSiteParams& params() const { return params_; }
+
+ private:
+  struct ParkedOp {
+    explicit ParkedOp(sim::Simulation* sim) : shot(sim) {}
+    db::TxnId txn = db::kNoTxn;
+    db::Operation op;
+    sim::OneShot shot;
+  };
+
+  /// Ensures the transaction is known to the graph (first message wins).
+  void EnsureRegistered(db::TxnId txn, db::SiteId origin, bool is_global);
+
+  /// Runs one RGtest under the CPU, translating costs to instructions.
+  /// `bounded` selects whether the request respects the queue bound.
+  sim::Task<sim::WaitStatus> ServeTest(
+      db::TxnId txn, std::vector<db::Operation> ops, bool bounded,
+      ReplicationGraph::TestOutcome* outcome);
+
+  /// Parks `op` for `txn` and waits for a retest verdict or timeout.
+  sim::Task<Verdict> ParkAndWait(db::TxnId txn, db::Operation op);
+
+  /// Removes a parked op after timeout/cancellation.
+  void Unpark(ParkedOp* parked);
+
+  /// Cancels every parked op of `txn` (abort path).
+  void CancelParked(db::TxnId txn);
+
+  /// Kicks the retest pump after the graph shrank.
+  void ScheduleRetest();
+  sim::Process RetestPump();
+
+  /// Removes `txn` from the graph under the CPU and marks it finished.
+  sim::Task<void> RemoveUnderCpu(db::TxnId txn);
+
+  sim::Simulation* sim_;
+  hw::Cpu* cpu_;
+  ReplicationGraph* graph_;
+  GraphSiteParams params_;
+
+  /// Per-transaction FIFO of parked operations (head blocks the rest).
+  std::unordered_map<db::TxnId, std::deque<ParkedOp*>> parked_;
+  /// Keeps parked ops alive across removal races between the waiting
+  /// coroutine (timeout path) and the retest pump.
+  std::unordered_map<ParkedOp*, std::shared_ptr<ParkedOp>> keepalive_;
+  /// FIFO of transactions with parked heads, for fair retesting.
+  std::deque<db::TxnId> wait_order_;
+  size_t parked_count_ = 0;
+
+  std::unordered_set<db::TxnId> finished_;
+
+  bool retest_pending_ = false;
+  bool retest_running_ = false;
+
+  uint64_t tests_run_ = 0;
+  uint64_t waits_ = 0;
+  uint64_t wait_timeouts_ = 0;
+  uint64_t rejections_ = 0;
+  uint64_t cycle_aborts_ = 0;
+};
+
+}  // namespace lazyrep::rg
+
+#endif  // LAZYREP_RG_GRAPH_SITE_H_

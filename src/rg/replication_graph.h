@@ -1,0 +1,215 @@
+#ifndef LAZYREP_RG_REPLICATION_GRAPH_H_
+#define LAZYREP_RG_REPLICATION_GRAPH_H_
+
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "db/types.h"
+
+namespace lazyrep::rg {
+
+/// Work performed on the replication graph, in the units the paper costs:
+/// operations added to the graph (2000 instructions each) and edges examined
+/// during cycle checking (117 instructions each). See Table 1.
+struct GraphCost {
+  uint64_t add_units = 0;    ///< (item, virtual-site) insertions
+  uint64_t check_edges = 0;  ///< edges traversed by cycle-checking DFS
+
+  /// Converts to instructions using the paper's published costs.
+  double Instructions(double add_instr = 2000.0,
+                      double check_instr_per_edge = 117.0) const {
+    return static_cast<double>(add_units) * add_instr +
+           static_cast<double>(check_edges) * check_instr_per_edge;
+  }
+
+  GraphCost& operator+=(const GraphCost& o) {
+    add_units += o.add_units;
+    check_edges += o.check_edges;
+    return *this;
+  }
+};
+
+/// The replication graph of §2.3, together with the virtual-site machinery
+/// it is defined over.
+///
+/// Virtual sites: each physical site's transactions are partitioned into
+/// groups (union-find); a transaction's virtual site at physical site s is
+/// the group it belongs to there, and the group's data set is the union of
+/// its members' accesses at s (locality rule). The union rule merges two
+/// groups when their transactions have a direct or transitive rw/wr conflict
+/// on a common item (ww conflicts never merge — the Thomas Write Rule covers
+/// them). The split rule recomputes a group when a member reaches the
+/// aborted or completed state.
+///
+/// The replication graph itself is the bipartite graph between *global*
+/// transactions and their virtual sites; a schedule is globally serializable
+/// if the graph can evolve acyclically [5,6]. RgTest tentatively applies a
+/// set of operations (locality + union rules) and reports whether a cycle
+/// would form; on failure every tentative change is rolled back.
+///
+/// This class is pure logic: simulated-time costs are *reported* through
+/// GraphCost and charged to a CPU by the caller (GraphSite).
+class ReplicationGraph {
+ public:
+  /// `num_sites` physical sites; with `full_replication` every update
+  /// transaction acquires a virtual site at every physical site the moment
+  /// it first writes (footnote 4: a write is an access at every replica).
+  explicit ReplicationGraph(int num_sites, bool full_replication = true);
+
+  /// Partial replication (degree-k ablation): tells the graph which sites
+  /// hold a replica of each item. Must be set when constructed with
+  /// full_replication == false; a write then lands in the transaction's
+  /// virtual sites at exactly the item's replica sites.
+  using ReplicaFn = std::function<bool(db::ItemId, db::SiteId)>;
+  void set_replica_fn(ReplicaFn fn) { replica_fn_ = std::move(fn); }
+
+
+  // -- transaction lifecycle ------------------------------------------------
+
+  /// Registers a transaction before its first RgTest. `is_global` marks
+  /// update transactions on replicated data.
+  void AddTxn(db::TxnId txn, db::SiteId origin, bool is_global);
+
+  /// Marks the transaction committed at its origination site (used by the
+  /// pessimistic rule: a cycle through a committed transaction aborts the
+  /// requester rather than making it wait).
+  void MarkCommitted(db::TxnId txn);
+
+  bool Contains(db::TxnId txn) const { return txns_.contains(txn); }
+  bool IsCommitted(db::TxnId txn) const;
+
+  /// Removes the transaction (on abort or completion) and applies the split
+  /// rule to every group it belonged to. Cost accumulates into `cost`.
+  void Remove(db::TxnId txn, GraphCost* cost);
+
+  // -- RGtest ---------------------------------------------------------------
+
+  enum class TestResult : uint8_t {
+    kOk,     ///< acyclic; tentative changes were made permanent
+    kCycle,  ///< a cycle would form; all tentative changes rolled back
+  };
+
+  struct TestOutcome {
+    TestResult result = TestResult::kOk;
+    /// Valid when result == kCycle: some transaction on the cycle is in the
+    /// committed state.
+    bool cycle_has_committed = false;
+  };
+
+  /// Tentatively applies `ops` for `txn` (locality + union rules, with a
+  /// cycle check guarding every union). On success the changes are kept; on
+  /// the first cycle everything from this call is rolled back. Cost (adds and
+  /// DFS edges) accumulates into `cost` regardless of outcome.
+  TestOutcome RgTest(db::TxnId txn, std::span<const db::Operation> ops,
+                     GraphCost* cost);
+
+  // -- introspection (tests, diagnostics) ------------------------------------
+
+  /// True when the two transactions currently share a virtual site at `site`.
+  bool SameVirtualSite(db::SiteId site, db::TxnId a, db::TxnId b);
+
+  /// Number of live transactions known to the graph.
+  size_t live_txns() const { return txns_.size(); }
+
+  /// Number of groups with more than one member at `site`.
+  size_t MergedGroupsAt(db::SiteId site) const;
+
+  /// Members of the virtual site `txn` belongs to at `site` (including
+  /// implicit singletons).
+  std::vector<db::TxnId> VirtualSiteMembers(db::SiteId site, db::TxnId txn);
+
+  /// Exhaustive acyclicity check over the current graph (O(V+E); test use).
+  bool IsAcyclic();
+
+  int num_sites() const { return num_sites_; }
+
+ private:
+  struct TxnInfo {
+    db::SiteId origin = 0;
+    bool is_global = false;
+    bool committed = false;
+    /// Whether this transaction has performed any write yet (global
+    /// transactions get their site-spanning presence on first write).
+    bool has_writes = false;
+    std::vector<db::ItemId> reads;   // read at the origin site
+    std::vector<db::ItemId> writes;  // replicated to all sites
+    /// Sites where this transaction has virtual sites under partial
+    /// replication (origin + replica sites of its write set); unused when
+    /// the graph models full replication.
+    std::vector<db::SiteId> present;
+    /// Sites where this transaction has a materialized union-find entry.
+    std::vector<db::SiteId> materialized;
+  };
+
+  struct SitePartition {
+    std::unordered_map<db::TxnId, db::TxnId> parent;
+    /// root -> member list (materialized members only, root included).
+    std::unordered_map<db::TxnId, std::vector<db::TxnId>> members;
+  };
+
+  /// One tentative union, for rollback.
+  struct UndoUnion {
+    db::SiteId site;
+    db::TxnId kept_root;
+    db::TxnId absorbed_root;
+    size_t kept_members_before;
+  };
+
+  db::TxnId Find(db::SiteId site, db::TxnId txn) const;
+  void Materialize(db::SiteId site, db::TxnId txn, TxnInfo* info);
+
+  /// Sites where a transaction has virtual sites.
+  /// Global with writes: every site (full replication) or its tracked
+  /// presence set (partial). Otherwise: the origin only.
+  bool PresentEverywhere(const TxnInfo& info) const {
+    return info.is_global && info.has_writes && full_replication_;
+  }
+
+  /// Invokes `fn(site)` for every site where the transaction has a virtual
+  /// site.
+  template <typename Fn>
+  void ForEachPresentSite(const TxnInfo& info, Fn&& fn) const {
+    if (PresentEverywhere(info)) {
+      for (int s = 0; s < num_sites_; ++s) fn(static_cast<db::SiteId>(s));
+    } else if (!full_replication_ && info.is_global && info.has_writes) {
+      for (db::SiteId s : info.present) fn(s);
+    } else {
+      fn(info.origin);
+    }
+  }
+
+  /// Merges the groups of `a` and `b` at `site` after a cycle check.
+  /// Returns false (and performs nothing) when the merge would close a
+  /// cycle; sets `*has_committed` from the transactions on the cycle path.
+  bool TryUnion(db::SiteId site, db::TxnId a, db::TxnId b, GraphCost* cost,
+                bool* has_committed, std::vector<UndoUnion>* undo);
+
+  /// DFS connectivity query between two group roots at `site`, excluding the
+  /// union about to happen. Charges 117/edge via `cost`. When connected,
+  /// fills `path_txns` with the transactions on the connecting path.
+  bool Connected(db::SiteId site, db::TxnId from_root, db::TxnId to_root,
+                 GraphCost* cost, std::vector<db::TxnId>* path_txns);
+
+  /// Re-partitions `members` at `site` by re-applying the union rule
+  /// (split rule). Charges re-add units.
+  void Recompute(db::SiteId site, std::vector<db::TxnId> members,
+                 GraphCost* cost);
+
+  int num_sites_;
+  bool full_replication_;
+  ReplicaFn replica_fn_;
+  std::unordered_map<db::TxnId, TxnInfo> txns_;
+  std::vector<SitePartition> sites_;
+  /// item -> live global transactions writing it.
+  std::unordered_map<db::ItemId, std::vector<db::TxnId>> writers_;
+  /// item -> live transactions that read it (each reads at its origin site).
+  std::unordered_map<db::ItemId, std::vector<db::TxnId>> readers_;
+};
+
+}  // namespace lazyrep::rg
+
+#endif  // LAZYREP_RG_REPLICATION_GRAPH_H_

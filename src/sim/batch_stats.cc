@@ -1,0 +1,97 @@
+#include "sim/batch_stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "sim/check.h"
+
+namespace lazyrep::sim {
+namespace {
+
+/// Two-sided 97.5% Student-t quantiles for 1..30 degrees of freedom.
+constexpr double kT975[] = {
+    12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262, 2.228,
+    2.201,  2.179, 2.160, 2.145, 2.131, 2.120, 2.110, 2.101, 2.093, 2.086,
+    2.080,  2.074, 2.069, 2.064, 2.060, 2.056, 2.052, 2.048, 2.045, 2.042};
+
+double T975(size_t df) {
+  if (df == 0) return 0;
+  if (df <= 30) return kT975[df - 1];
+  return 1.960;
+}
+
+}  // namespace
+
+BatchMeansStat::BatchMeansStat(size_t batch_size) : batch_size_(batch_size) {
+  LAZYREP_CHECK(batch_size_ >= 1);
+}
+
+void BatchMeansStat::Add(double x) {
+  ++count_;
+  total_sum_ += x;
+  current_sum_ += x;
+  if (++current_n_ == batch_size_) {
+    batches_.Add(current_sum_ / static_cast<double>(batch_size_));
+    current_sum_ = 0;
+    current_n_ = 0;
+  }
+}
+
+void BatchMeansStat::Clear() {
+  count_ = 0;
+  total_sum_ = 0;
+  current_sum_ = 0;
+  current_n_ = 0;
+  batches_.Clear();
+}
+
+double BatchMeansStat::Mean() const {
+  return count_ ? total_sum_ / static_cast<double>(count_) : 0.0;
+}
+
+double BatchMeansStat::HalfWidth95() const {
+  size_t b = Batches();
+  if (b < 2) return 0;
+  double se = std::sqrt(batches_.Variance() / static_cast<double>(b));
+  return T975(b - 1) * se;
+}
+
+QuantileStat::QuantileStat() : buckets_(kBuckets, 0) {}
+
+int QuantileStat::BucketOf(double x) const {
+  if (x <= kMinValue) return 0;
+  int b = static_cast<int>(std::log(x / kMinValue) / std::log(kGrowth)) + 1;
+  return std::min(b, kBuckets - 1);
+}
+
+double QuantileStat::BucketUpperEdge(int bucket) const {
+  if (bucket == 0) return kMinValue;
+  return kMinValue * std::pow(kGrowth, bucket);
+}
+
+void QuantileStat::Add(double x) {
+  ++count_;
+  max_ = std::max(max_, x);
+  ++buckets_[BucketOf(x)];
+}
+
+void QuantileStat::Clear() {
+  std::fill(buckets_.begin(), buckets_.end(), 0);
+  count_ = 0;
+  max_ = 0;
+}
+
+double QuantileStat::Quantile(double q) const {
+  if (count_ == 0) return 0;
+  q = std::clamp(q, 0.0, 1.0);
+  uint64_t target = static_cast<uint64_t>(q * static_cast<double>(count_));
+  if (target >= count_) target = count_ - 1;
+  uint64_t seen = 0;
+  for (int b = 0; b < kBuckets; ++b) {
+    seen += buckets_[b];
+    if (seen > target) return BucketUpperEdge(b);
+  }
+  return max_;
+}
+
+}  // namespace lazyrep::sim

@@ -1,0 +1,83 @@
+#ifndef LAZYREP_SIM_BATCH_STATS_H_
+#define LAZYREP_SIM_BATCH_STATS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/stats.h"
+
+namespace lazyrep::sim {
+
+/// Confidence intervals by the method of batch means (Jain, *The Art of
+/// Computer Systems Performance Analysis* — the paper's reference [15] for
+/// its confidence intervals).
+///
+/// Successive observations of a steady-state simulation are autocorrelated,
+/// so the naive CI of TallyStat understates the variance. Batch means groups
+/// consecutive observations into batches; batch averages are approximately
+/// independent once batches are long enough, giving an honest interval.
+class BatchMeansStat {
+ public:
+  /// `batch_size` observations per batch (tune so batch means decorrelate;
+  /// a few hundred works for the studies here).
+  explicit BatchMeansStat(size_t batch_size = 256);
+
+  void Add(double x);
+  void Clear();
+
+  uint64_t Count() const { return count_; }
+  /// Grand mean over all observations (including the partial last batch).
+  double Mean() const;
+  /// Number of completed batches.
+  size_t Batches() const { return static_cast<size_t>(batches_.Count()); }
+  /// Half-width of the 95% CI from the batch means (Student-t for few
+  /// batches, normal beyond 30). Zero with fewer than two batches.
+  double HalfWidth95() const;
+  /// Variance of the batch means.
+  double BatchVariance() const { return batches_.Variance(); }
+
+ private:
+  size_t batch_size_;
+  uint64_t count_ = 0;
+  double total_sum_ = 0;
+  double current_sum_ = 0;
+  size_t current_n_ = 0;
+  TallyStat batches_;
+};
+
+/// Streaming quantile summary over a bounded-resolution histogram.
+///
+/// Response times span ~0.1 ms to ~10 s; buckets are logarithmic with 5%
+/// resolution, so p50/p95/p99 are exact to within one bucket. Memory is a
+/// fixed few KB regardless of sample count.
+class QuantileStat {
+ public:
+  QuantileStat();
+
+  void Add(double x);
+  void Clear();
+
+  uint64_t Count() const { return count_; }
+  /// Value at quantile q in [0,1] (upper edge of the containing bucket).
+  double Quantile(double q) const;
+  double P50() const { return Quantile(0.50); }
+  double P95() const { return Quantile(0.95); }
+  double P99() const { return Quantile(0.99); }
+  double Max() const { return max_; }
+
+ private:
+  static constexpr double kMinValue = 1e-5;  // 10 µs
+  static constexpr double kGrowth = 1.05;    // 5% buckets
+  static constexpr int kBuckets = 400;       // covers up to ~3000 s
+
+  int BucketOf(double x) const;
+  double BucketUpperEdge(int bucket) const;
+
+  std::vector<uint64_t> buckets_;
+  uint64_t count_ = 0;
+  double max_ = 0;
+};
+
+}  // namespace lazyrep::sim
+
+#endif  // LAZYREP_SIM_BATCH_STATS_H_

@@ -1,0 +1,28 @@
+#ifndef LAZYREP_SIM_CHECK_H_
+#define LAZYREP_SIM_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+// Internal invariant checking. The library does not use exceptions (it
+// follows the Google C++ style); a violated invariant is a bug in the
+// simulator itself and aborts the process with a source location.
+#define LAZYREP_CHECK(cond)                                                  \
+  do {                                                                       \
+    if (!(cond)) {                                                           \
+      std::fprintf(stderr, "LAZYREP_CHECK failed: %s at %s:%d\n", #cond,     \
+                   __FILE__, __LINE__);                                      \
+      std::abort();                                                          \
+    }                                                                        \
+  } while (0)
+
+#define LAZYREP_CHECK_MSG(cond, msg)                                         \
+  do {                                                                       \
+    if (!(cond)) {                                                           \
+      std::fprintf(stderr, "LAZYREP_CHECK failed: %s (%s) at %s:%d\n", #cond, \
+                   msg, __FILE__, __LINE__);                                 \
+      std::abort();                                                          \
+    }                                                                        \
+  } while (0)
+
+#endif  // LAZYREP_SIM_CHECK_H_

@@ -1,0 +1,93 @@
+#include "sim/event_queue.h"
+
+#include <utility>
+
+#include "sim/check.h"
+
+namespace lazyrep::sim {
+
+uint32_t EventQueue::AllocateSlot() {
+  if (!free_slots_.empty()) {
+    uint32_t slot = free_slots_.back();
+    free_slots_.pop_back();
+    return slot;
+  }
+  slots_.emplace_back();
+  return static_cast<uint32_t>(slots_.size() - 1);
+}
+
+void EventQueue::ReleaseSlot(uint32_t slot) {
+  Slot& s = slots_[slot];
+  ++s.generation;
+  if (s.generation == 0) ++s.generation;  // generation 0 means "invalid id"
+  s.kind = Kind::kFree;
+  s.handle = nullptr;
+  s.callback = nullptr;
+  free_slots_.push_back(slot);
+}
+
+EventId EventQueue::ScheduleResume(SimTime t, std::coroutine_handle<> handle) {
+  LAZYREP_CHECK(handle);
+  uint32_t slot = AllocateSlot();
+  Slot& s = slots_[slot];
+  s.kind = Kind::kResume;
+  s.handle = handle;
+  heap_.push(HeapEntry{t, next_seq_++, slot, s.generation});
+  ++live_count_;
+  return EventId{slot, s.generation};
+}
+
+EventId EventQueue::ScheduleCallback(SimTime t, Callback fn) {
+  LAZYREP_CHECK(fn);
+  uint32_t slot = AllocateSlot();
+  Slot& s = slots_[slot];
+  s.kind = Kind::kCallback;
+  s.callback = std::move(fn);
+  heap_.push(HeapEntry{t, next_seq_++, slot, s.generation});
+  ++live_count_;
+  return EventId{slot, s.generation};
+}
+
+bool EventQueue::Cancel(EventId id) {
+  if (!id.valid() || id.slot >= slots_.size()) return false;
+  Slot& s = slots_[id.slot];
+  if (s.generation != id.generation || s.kind == Kind::kFree) return false;
+  ReleaseSlot(id.slot);
+  --live_count_;
+  return true;
+}
+
+void EventQueue::DiscardDeadEntries() {
+  while (!heap_.empty()) {
+    const HeapEntry& top = heap_.top();
+    const Slot& s = slots_[top.slot];
+    if (s.generation == top.generation && s.kind != Kind::kFree) return;
+    heap_.pop();  // the event was cancelled; its slot was already recycled
+  }
+}
+
+SimTime EventQueue::PeekTime() {
+  DiscardDeadEntries();
+  if (heap_.empty()) return kTimeInfinity;
+  return heap_.top().time;
+}
+
+EventQueue::Fired EventQueue::Pop() {
+  DiscardDeadEntries();
+  LAZYREP_CHECK(!heap_.empty());
+  HeapEntry top = heap_.top();
+  heap_.pop();
+  Slot& s = slots_[top.slot];
+  Fired fired;
+  fired.time = top.time;
+  if (s.kind == Kind::kResume) {
+    fired.handle = s.handle;
+  } else {
+    fired.callback = std::move(s.callback);
+  }
+  ReleaseSlot(top.slot);
+  --live_count_;
+  return fired;
+}
+
+}  // namespace lazyrep::sim

@@ -1,0 +1,106 @@
+#ifndef LAZYREP_SIM_EVENT_QUEUE_H_
+#define LAZYREP_SIM_EVENT_QUEUE_H_
+
+#include <coroutine>
+#include <cstdint>
+#include <functional>
+#include <limits>
+#include <queue>
+#include <vector>
+
+namespace lazyrep::sim {
+
+/// Simulated time, in seconds.
+using SimTime = double;
+
+/// Sentinel "never" time.
+inline constexpr SimTime kTimeInfinity =
+    std::numeric_limits<SimTime>::infinity();
+
+/// Handle to a scheduled event; can be used to cancel it before it fires.
+/// A default-constructed EventId is invalid and safe to cancel (no-op).
+struct EventId {
+  uint32_t slot = 0;
+  uint32_t generation = 0;
+
+  bool valid() const { return generation != 0; }
+};
+
+/// Priority queue of simulation events ordered by (time, insertion sequence).
+///
+/// Events are either a coroutine handle to resume or an arbitrary callback.
+/// Slots are recycled through a free list; generation counters make stale
+/// EventIds (including ids of already-fired events) harmless to cancel.
+class EventQueue {
+ public:
+  using Callback = std::function<void()>;
+
+  EventQueue() = default;
+  EventQueue(const EventQueue&) = delete;
+  EventQueue& operator=(const EventQueue&) = delete;
+
+  /// Schedules `handle` to be resumed at absolute time `t`.
+  EventId ScheduleResume(SimTime t, std::coroutine_handle<> handle);
+
+  /// Schedules `fn` to run at absolute time `t`.
+  EventId ScheduleCallback(SimTime t, Callback fn);
+
+  /// Cancels a pending event. Safe to call with invalid or stale ids.
+  /// Returns true if the event was pending and is now cancelled.
+  bool Cancel(EventId id);
+
+  /// True when no live (non-cancelled) event is pending.
+  bool Empty() const { return live_count_ == 0; }
+
+  /// Number of live pending events.
+  size_t Size() const { return live_count_; }
+
+  /// Time of the earliest live event, or kTimeInfinity when empty.
+  SimTime PeekTime();
+
+  /// Fired event returned by Pop.
+  struct Fired {
+    SimTime time = 0;
+    std::coroutine_handle<> handle;  // set when the event resumes a coroutine
+    Callback callback;               // set when the event runs a callback
+  };
+
+  /// Removes and returns the earliest live event. Requires !Empty().
+  Fired Pop();
+
+ private:
+  enum class Kind : uint8_t { kFree, kResume, kCallback };
+
+  struct Slot {
+    uint32_t generation = 1;
+    Kind kind = Kind::kFree;
+    std::coroutine_handle<> handle;
+    Callback callback;
+  };
+
+  struct HeapEntry {
+    SimTime time;
+    uint64_t seq;
+    uint32_t slot;
+    uint32_t generation;
+
+    bool operator>(const HeapEntry& other) const {
+      if (time != other.time) return time > other.time;
+      return seq > other.seq;
+    }
+  };
+
+  uint32_t AllocateSlot();
+  void ReleaseSlot(uint32_t slot);
+  void DiscardDeadEntries();
+
+  std::vector<Slot> slots_;
+  std::vector<uint32_t> free_slots_;
+  std::priority_queue<HeapEntry, std::vector<HeapEntry>, std::greater<>> heap_;
+  uint64_t next_seq_ = 0;
+  size_t live_count_ = 0;
+};
+
+}  // namespace lazyrep::sim
+
+#endif  // LAZYREP_SIM_EVENT_QUEUE_H_

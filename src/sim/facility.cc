@@ -1,0 +1,88 @@
+#include "sim/facility.h"
+
+#include <utility>
+
+namespace lazyrep::sim {
+
+Facility::Facility(Simulation* sim, std::string name, int servers)
+    : sim_(sim), name_(std::move(name)), servers_(servers) {
+  LAZYREP_CHECK(servers_ >= 1);
+  busy_stat_.Start(sim_->Now());
+  queue_stat_.Start(sim_->Now());
+}
+
+void Facility::StartService(Request* request) {
+  ++busy_;
+  busy_stat_.Set(sim_->Now(), busy_);
+  if (request->work) {
+    request->service = request->work();
+  }
+  sim_->ScheduleCallbackAt(sim_->Now() + request->service,
+                           [this, request] { OnServiceComplete(request); });
+}
+
+void Facility::OnServiceComplete(Request* request) {
+  --busy_;
+  busy_stat_.Set(sim_->Now(), busy_);
+  ++completed_;
+  request->done.Fire(WaitStatus::kSignaled);
+  if (!queue_.empty() && busy_ < servers_) {
+    Request* next = queue_.front();
+    queue_.pop_front();
+    queue_stat_.Set(sim_->Now(), static_cast<double>(queue_.size()));
+    StartService(next);
+  }
+}
+
+Task<WaitStatus> Facility::Use(SimTime service) {
+  Request request(sim_);
+  request.service = service;
+  if (busy_ < servers_) {
+    StartService(&request);
+  } else {
+    queue_.push_back(&request);
+    queue_stat_.Set(sim_->Now(), static_cast<double>(queue_.size()));
+  }
+  co_return co_await request.done.Wait();
+}
+
+Task<WaitStatus> Facility::UseBounded(SimTime service, size_t queue_bound) {
+  if (busy_ >= servers_ && queue_.size() >= queue_bound) {
+    ++rejected_;
+    co_return WaitStatus::kRejected;
+  }
+  co_return co_await Use(service);
+}
+
+Task<WaitStatus> Facility::Serve(WorkFn work, size_t queue_bound) {
+  if (busy_ >= servers_ && queue_.size() >= queue_bound) {
+    ++rejected_;
+    co_return WaitStatus::kRejected;
+  }
+  Request request(sim_);
+  request.work = std::move(work);
+  if (busy_ < servers_) {
+    StartService(&request);
+  } else {
+    queue_.push_back(&request);
+    queue_stat_.Set(sim_->Now(), static_cast<double>(queue_.size()));
+  }
+  co_return co_await request.done.Wait();
+}
+
+double Facility::Utilization() const {
+  return busy_stat_.Average(sim_->Now()) / servers_;
+}
+
+double Facility::MeanQueueLength() const {
+  return queue_stat_.Average(sim_->Now());
+}
+
+void Facility::ResetStats() {
+  busy_stat_.ResetAt(sim_->Now());
+  queue_stat_.ResetAt(sim_->Now());
+  completed_ = 0;
+  rejected_ = 0;
+}
+
+}  // namespace lazyrep::sim

@@ -1,0 +1,99 @@
+#ifndef LAZYREP_SIM_FACILITY_H_
+#define LAZYREP_SIM_FACILITY_H_
+
+#include <cstdint>
+#include <deque>
+#include <string>
+
+#include "sim/condition.h"
+#include "sim/process.h"
+#include "sim/simulation.h"
+#include "sim/stats.h"
+
+namespace lazyrep::sim {
+
+/// A CSIM-style facility: one or more identical servers with a shared FCFS
+/// queue. Models CPUs, disk spindles and network links.
+///
+/// A process occupies a server for a caller-supplied service time:
+///
+///     co_await cpu.Use(instructions / mips);
+///
+/// UseBounded additionally rejects the request when the number of waiting
+/// requests has reached a bound — this models the paper's bounded request
+/// queue at the replication-graph site (§4.1.2).
+class Facility {
+ public:
+  Facility(Simulation* sim, std::string name, int servers = 1);
+  Facility(const Facility&) = delete;
+  Facility& operator=(const Facility&) = delete;
+
+  /// Occupies a server for `service` seconds, queuing FCFS when all servers
+  /// are busy. Always returns kSignaled.
+  Task<WaitStatus> Use(SimTime service);
+
+  /// Like Use, but returns kRejected immediately (consuming no service) when
+  /// `queue_bound` requests are already waiting.
+  Task<WaitStatus> UseBounded(SimTime service, size_t queue_bound);
+
+  /// Work function evaluated when a Serve request reaches the server; it
+  /// performs the request's side effects and returns the service time they
+  /// cost. Running side effects at service start (not at enqueue) keeps
+  /// state mutations serialized in server order — required for the
+  /// single-threaded replication-graph manager.
+  using WorkFn = std::function<SimTime()>;
+
+  /// FCFS service whose duration (and side effects) are determined when the
+  /// server picks the request up. Rejects like UseBounded when `queue_bound`
+  /// requests are waiting; pass SIZE_MAX for an unbounded queue.
+  Task<WaitStatus> Serve(WorkFn work, size_t queue_bound);
+
+  /// Fraction of server capacity in use since the last ResetStats.
+  double Utilization() const;
+
+  /// Time-averaged number of waiting (not in service) requests.
+  double MeanQueueLength() const;
+
+  /// Requests currently waiting (excluding those in service).
+  size_t queue_length() const { return queue_.size(); }
+
+  /// Servers currently busy.
+  int busy_servers() const { return busy_; }
+
+  /// Completed services since the last ResetStats.
+  uint64_t completed() const { return completed_; }
+
+  /// Requests rejected by UseBounded since the last ResetStats.
+  uint64_t rejected() const { return rejected_; }
+
+  /// Restarts utilization/queue statistics at the current time (used to
+  /// discard the warm-up transient).
+  void ResetStats();
+
+  const std::string& name() const { return name_; }
+
+ private:
+  struct Request {
+    explicit Request(Simulation* sim) : done(sim) {}
+    OneShot done;
+    SimTime service = 0;
+    WorkFn work;  // when set, evaluated at service start to produce `service`
+  };
+
+  void StartService(Request* request);
+  void OnServiceComplete(Request* request);
+
+  Simulation* sim_;
+  std::string name_;
+  int servers_;
+  int busy_ = 0;
+  std::deque<Request*> queue_;
+  TimeWeightedStat busy_stat_;
+  TimeWeightedStat queue_stat_;
+  uint64_t completed_ = 0;
+  uint64_t rejected_ = 0;
+};
+
+}  // namespace lazyrep::sim
+
+#endif  // LAZYREP_SIM_FACILITY_H_

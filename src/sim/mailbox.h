@@ -1,0 +1,77 @@
+#ifndef LAZYREP_SIM_MAILBOX_H_
+#define LAZYREP_SIM_MAILBOX_H_
+
+#include <deque>
+#include <utility>
+
+#include "sim/condition.h"
+#include "sim/process.h"
+#include "sim/simulation.h"
+
+namespace lazyrep::sim {
+
+/// Typed message queue between processes (the CSIM "mailbox").
+///
+/// Send never blocks; Receive suspends until a message is available (or a
+/// timeout elapses). Multiple receivers are served FIFO.
+template <typename T>
+class Mailbox {
+ public:
+  explicit Mailbox(Simulation* sim) : sim_(sim) {}
+  Mailbox(const Mailbox&) = delete;
+  Mailbox& operator=(const Mailbox&) = delete;
+
+  /// Deposits a message, waking the oldest waiting receiver if any.
+  void Send(T message) {
+    messages_.push_back(std::move(message));
+    if (!receivers_.empty()) {
+      OneShot* shot = receivers_.front();
+      receivers_.pop_front();
+      shot->Fire(WaitStatus::kSignaled);
+    }
+  }
+
+  /// Result of a timed receive.
+  struct ReceiveResult {
+    WaitStatus status = WaitStatus::kSignaled;
+    T message{};
+  };
+
+  /// Suspends until a message arrives; returns it. With a finite timeout the
+  /// result carries kTimeout and a default-constructed message on expiry.
+  Task<ReceiveResult> Receive(SimTime timeout = kTimeInfinity) {
+    if (messages_.empty()) {
+      OneShot shot(sim_);
+      receivers_.push_back(&shot);
+      WaitStatus status = co_await shot.Wait(timeout);
+      if (status != WaitStatus::kSignaled) {
+        // Remove ourselves from the waiting list (timeout path).
+        for (auto it = receivers_.begin(); it != receivers_.end(); ++it) {
+          if (*it == &shot) {
+            receivers_.erase(it);
+            break;
+          }
+        }
+        co_return ReceiveResult{status, T{}};
+      }
+      // A message was deposited for us; it may have been consumed by nobody
+      // else because wake order matches queue order.
+    }
+    LAZYREP_CHECK(!messages_.empty());
+    ReceiveResult result{WaitStatus::kSignaled, std::move(messages_.front())};
+    messages_.pop_front();
+    co_return result;
+  }
+
+  size_t pending() const { return messages_.size(); }
+  size_t waiting_receivers() const { return receivers_.size(); }
+
+ private:
+  Simulation* sim_;
+  std::deque<T> messages_;
+  std::deque<OneShot*> receivers_;
+};
+
+}  // namespace lazyrep::sim
+
+#endif  // LAZYREP_SIM_MAILBOX_H_

@@ -1,0 +1,38 @@
+#include "sim/random.h"
+
+#include <cmath>
+
+namespace lazyrep::sim {
+
+double RandomStream::Uniform01() {
+  // 53-bit mantissa-exact uniform in [0, 1).
+  return static_cast<double>(engine_() >> 11) * 0x1.0p-53;
+}
+
+double RandomStream::Uniform(double lo, double hi) {
+  return lo + (hi - lo) * Uniform01();
+}
+
+int64_t RandomStream::UniformInt(int64_t lo, int64_t hi) {
+  std::uniform_int_distribution<int64_t> dist(lo, hi);
+  return dist(engine_);
+}
+
+double RandomStream::Exponential(double mean) {
+  double u;
+  do {
+    u = Uniform01();
+  } while (u <= 0.0);
+  return -mean * std::log(u);
+}
+
+RandomStream RandomStream::Fork() {
+  // Mix two raw draws through splitmix64 so child streams do not overlap the
+  // parent sequence in practice.
+  uint64_t z = engine_() + 0x9e3779b97f4a7c15ULL;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return RandomStream(z ^ (z >> 31));
+}
+
+}  // namespace lazyrep::sim

@@ -1,0 +1,42 @@
+#ifndef LAZYREP_SIM_RANDOM_H_
+#define LAZYREP_SIM_RANDOM_H_
+
+#include <cstdint>
+#include <random>
+
+namespace lazyrep::sim {
+
+/// Per-stream pseudo-random source.
+///
+/// Each site's transaction generator gets its own stream (seeded from a study
+/// seed plus the site index) so runs are reproducible and sites are mutually
+/// independent, mirroring the CSIM setup of the paper.
+class RandomStream {
+ public:
+  explicit RandomStream(uint64_t seed) : engine_(seed) {}
+
+  /// Uniform double in [0, 1).
+  double Uniform01();
+
+  /// Uniform double in [lo, hi).
+  double Uniform(double lo, double hi);
+
+  /// Uniform integer in [lo, hi] inclusive.
+  int64_t UniformInt(int64_t lo, int64_t hi);
+
+  /// Exponential with the given mean (inter-arrival times).
+  double Exponential(double mean);
+
+  /// Bernoulli trial.
+  bool Chance(double p) { return Uniform01() < p; }
+
+  /// Derives an independent child stream (site-local streams).
+  RandomStream Fork();
+
+ private:
+  std::mt19937_64 engine_;
+};
+
+}  // namespace lazyrep::sim
+
+#endif  // LAZYREP_SIM_RANDOM_H_

@@ -1,0 +1,92 @@
+#ifndef LAZYREP_SIM_SIMULATION_H_
+#define LAZYREP_SIM_SIMULATION_H_
+
+#include <coroutine>
+#include <cstdint>
+
+#include "sim/event_queue.h"
+#include "sim/process.h"
+
+namespace lazyrep::sim {
+
+/// The discrete-event simulation executive.
+///
+/// Holds the clock and the event queue and drives coroutine processes.
+/// Typical use:
+///
+///     Simulation sim;
+///     sim.Spawn(MyProcess(&sim, ...));   // MyProcess returns sim::Process
+///     sim.Run();                          // until no events remain
+///
+/// Inside a process:
+///
+///     co_await sim->Delay(0.5);           // advance simulated time
+class Simulation {
+ public:
+  Simulation() = default;
+  Simulation(const Simulation&) = delete;
+  Simulation& operator=(const Simulation&) = delete;
+
+  /// Current simulated time in seconds.
+  SimTime Now() const { return now_; }
+
+  /// Starts a detached process. The first step of the coroutine runs at the
+  /// current simulated time, after the caller yields to the executive.
+  void Spawn(Process process) {
+    events_.ScheduleResume(now_, process.Release());
+  }
+
+  /// Awaitable that suspends the current process for `dt` simulated seconds.
+  struct DelayAwaiter {
+    Simulation* sim;
+    SimTime dt;
+    bool await_ready() const noexcept { return false; }
+    void await_suspend(std::coroutine_handle<> h) {
+      sim->events_.ScheduleResume(sim->now_ + dt, h);
+    }
+    void await_resume() const noexcept {}
+  };
+  DelayAwaiter Delay(SimTime dt) { return DelayAwaiter{this, dt}; }
+
+  /// Schedules `handle` to resume at absolute time `t` (>= Now()).
+  EventId ScheduleResumeAt(SimTime t, std::coroutine_handle<> handle) {
+    return events_.ScheduleResume(t, handle);
+  }
+
+  /// Schedules `handle` to resume immediately (at the current time, after
+  /// already-queued same-time events).
+  EventId ScheduleResumeNow(std::coroutine_handle<> handle) {
+    return events_.ScheduleResume(now_, handle);
+  }
+
+  /// Schedules a callback at absolute time `t`.
+  EventId ScheduleCallbackAt(SimTime t, EventQueue::Callback fn) {
+    return events_.ScheduleCallback(t, std::move(fn));
+  }
+
+  /// Cancels a pending event; safe on stale ids.
+  bool Cancel(EventId id) { return events_.Cancel(id); }
+
+  /// Runs until the event queue drains or the clock passes `until`.
+  /// Returns the number of events fired.
+  uint64_t Run(SimTime until = kTimeInfinity);
+
+  /// Fires at most one event. Returns false when the queue is empty or the
+  /// next event lies beyond `until` (the clock is not advanced past it).
+  bool Step(SimTime until = kTimeInfinity);
+
+  /// Total number of events fired so far.
+  uint64_t events_fired() const { return events_fired_; }
+
+  /// Number of pending events (cancellations excluded).
+  size_t pending_events() const { return events_.Size(); }
+
+ private:
+  EventQueue events_;
+  SimTime now_ = 0;
+  uint64_t events_fired_ = 0;
+};
+
+}  // namespace lazyrep::sim
+
+#endif  // LAZYREP_SIM_SIMULATION_H_

@@ -1,0 +1,31 @@
+#include "txn/transaction.h"
+
+namespace lazyrep::txn {
+
+const char* TxnStateName(TxnState state) {
+  switch (state) {
+    case TxnState::kActive:
+      return "active";
+    case TxnState::kCommitted:
+      return "committed";
+    case TxnState::kAborted:
+      return "aborted";
+    case TxnState::kCompleted:
+      return "completed";
+  }
+  return "unknown";
+}
+
+void Transaction::RebuildAccessSets() {
+  read_set.clear();
+  write_set.clear();
+  for (const db::Operation& op : ops) {
+    if (op.type == db::OpType::kRead) {
+      read_set.push_back(op.item);
+    } else {
+      write_set.push_back(op.item);
+    }
+  }
+}
+
+}  // namespace lazyrep::txn

@@ -1,0 +1,59 @@
+#ifndef LAZYREP_TXN_WORKLOAD_H_
+#define LAZYREP_TXN_WORKLOAD_H_
+
+#include <cstdint>
+
+#include "db/types.h"
+#include "sim/random.h"
+#include "txn/transaction.h"
+
+namespace lazyrep::txn {
+
+/// Transaction-mix parameters (Table 1 of the paper).
+struct WorkloadParams {
+  /// Fraction of read-only transactions (paper: 90%).
+  double read_only_fraction = 0.90;
+  /// Fraction of operations that are writes within an update transaction
+  /// (paper: 30%).
+  double write_op_fraction = 0.30;
+  /// Operations per transaction: uniform in [min_ops, max_ops] (paper: 5-15,
+  /// average 10).
+  int min_ops = 5;
+  int max_ops = 15;
+  /// Primary items per site (paper: 20). |DB| = items_per_site * num_sites.
+  int items_per_site = 20;
+  int num_sites = 100;
+  /// Footnote-2 relaxation (ablation A5): when true, update transactions may
+  /// write any item, not just items whose primary site is the origin.
+  bool relaxed_ownership = false;
+  /// 0 = full replication. Otherwise each item lives at its primary site and
+  /// the next k-1 sites; reads then draw only from items replicated at the
+  /// origination site (a transaction reads only at its origin, §2.1).
+  int replication_degree = 0;
+
+  int total_items() const { return items_per_site * num_sites; }
+  bool full_replication() const {
+    return replication_degree == 0 || replication_degree >= num_sites;
+  }
+};
+
+/// Generates transactions per the paper's model: items are drawn uniformly
+/// from the (hot-spot) database, operation items are distinct within a
+/// transaction, and write items respect primary-copy ownership.
+class WorkloadGenerator {
+ public:
+  explicit WorkloadGenerator(const WorkloadParams& params) : params_(params) {}
+
+  /// Builds the next transaction originating at `origin`.
+  Transaction Generate(db::TxnId id, db::SiteId origin,
+                       sim::RandomStream* rng) const;
+
+  const WorkloadParams& params() const { return params_; }
+
+ private:
+  WorkloadParams params_;
+};
+
+}  // namespace lazyrep::txn
+
+#endif  // LAZYREP_TXN_WORKLOAD_H_

@@ -1,0 +1,111 @@
+// Tests for batch-means confidence intervals and quantile summaries
+// (src/sim/batch_stats).
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "sim/batch_stats.h"
+#include "sim/random.h"
+
+namespace lazyrep::sim {
+namespace {
+
+TEST(BatchMeansTest, MeanMatchesGrandMean) {
+  BatchMeansStat s(10);
+  for (int i = 1; i <= 95; ++i) s.Add(i);  // includes a partial last batch
+  EXPECT_EQ(s.Count(), 95u);
+  EXPECT_DOUBLE_EQ(s.Mean(), 48.0);
+  EXPECT_EQ(s.Batches(), 9u);
+}
+
+TEST(BatchMeansTest, NoIntervalWithFewerThanTwoBatches) {
+  BatchMeansStat s(100);
+  for (int i = 0; i < 150; ++i) s.Add(1.0);
+  EXPECT_EQ(s.Batches(), 1u);
+  EXPECT_DOUBLE_EQ(s.HalfWidth95(), 0.0);
+}
+
+TEST(BatchMeansTest, IidDataMatchesNaiveInterval) {
+  // For independent samples, batch means and the naive CI agree closely.
+  RandomStream rng(3);
+  BatchMeansStat batched(100);
+  TallyStat naive;
+  for (int i = 0; i < 100000; ++i) {
+    double x = rng.Uniform01();
+    batched.Add(x);
+    naive.Add(x);
+  }
+  EXPECT_NEAR(batched.Mean(), naive.Mean(), 1e-12);
+  EXPECT_NEAR(batched.HalfWidth95(), naive.HalfWidth95(),
+              0.4 * naive.HalfWidth95());
+}
+
+TEST(BatchMeansTest, AutocorrelatedDataWidensInterval) {
+  // AR(1) with strong positive correlation: the naive CI is dishonestly
+  // narrow; batch means must report a wider (more truthful) interval.
+  RandomStream rng(4);
+  BatchMeansStat batched(500);
+  TallyStat naive;
+  double x = 0;
+  for (int i = 0; i < 200000; ++i) {
+    x = 0.99 * x + rng.Uniform(-0.5, 0.5);
+    batched.Add(x);
+    naive.Add(x);
+  }
+  EXPECT_GT(batched.HalfWidth95(), 3 * naive.HalfWidth95());
+}
+
+TEST(BatchMeansTest, SmallBatchCountUsesStudentT) {
+  BatchMeansStat s(10);
+  // Exactly 3 batches with means 1, 2, 3: sample sd = 1, se = 1/sqrt(3),
+  // t(2, .975) = 4.303.
+  for (int i = 0; i < 10; ++i) s.Add(1);
+  for (int i = 0; i < 10; ++i) s.Add(2);
+  for (int i = 0; i < 10; ++i) s.Add(3);
+  EXPECT_NEAR(s.HalfWidth95(), 4.303 / std::sqrt(3.0), 1e-3);
+}
+
+TEST(BatchMeansTest, ClearResets) {
+  BatchMeansStat s(5);
+  for (int i = 0; i < 20; ++i) s.Add(i);
+  s.Clear();
+  EXPECT_EQ(s.Count(), 0u);
+  EXPECT_EQ(s.Batches(), 0u);
+  EXPECT_DOUBLE_EQ(s.Mean(), 0.0);
+}
+
+TEST(QuantileTest, ExactOnUniformGrid) {
+  QuantileStat q;
+  for (int i = 1; i <= 1000; ++i) q.Add(i * 0.001);  // 1ms .. 1s
+  // 5% bucket resolution: quantiles within 6% of truth.
+  EXPECT_NEAR(q.P50(), 0.5, 0.5 * 0.06);
+  EXPECT_NEAR(q.P95(), 0.95, 0.95 * 0.06);
+  EXPECT_NEAR(q.P99(), 0.99, 0.99 * 0.06);
+  EXPECT_DOUBLE_EQ(q.Max(), 1.0);
+}
+
+TEST(QuantileTest, HeavyTailCaptured) {
+  QuantileStat q;
+  for (int i = 0; i < 990; ++i) q.Add(0.01);
+  for (int i = 0; i < 10; ++i) q.Add(2.0);
+  EXPECT_NEAR(q.P50(), 0.01, 0.01 * 0.06);
+  EXPECT_NEAR(q.Quantile(0.995), 2.0, 2.0 * 0.06);
+}
+
+TEST(QuantileTest, TinyAndHugeValuesClamp) {
+  QuantileStat q;
+  q.Add(1e-9);   // below resolution floor
+  q.Add(1e6);    // beyond the last bucket
+  EXPECT_EQ(q.Count(), 2u);
+  EXPECT_LE(q.Quantile(0.0), 1e-5);
+  EXPECT_DOUBLE_EQ(q.Max(), 1e6);
+}
+
+TEST(QuantileTest, EmptyIsZero) {
+  QuantileStat q;
+  EXPECT_DOUBLE_EQ(q.P95(), 0.0);
+}
+
+}  // namespace
+}  // namespace lazyrep::sim

@@ -1,0 +1,316 @@
+// Unit tests for the core layer (src/core): configuration presets, replica
+// placement, the MVSG serializability checker, metrics accounting, the
+// analytic contention model, and the bench option parser.
+
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "analysis/contention_model.h"
+#include "core/config.h"
+#include "core/history.h"
+#include "core/metrics.h"
+#include "core/study.h"
+
+namespace lazyrep::core {
+namespace {
+
+// ---------------------------------------------------------------------------
+// SystemConfig
+// ---------------------------------------------------------------------------
+
+TEST(ConfigTest, Oc3PresetMatchesTable1) {
+  SystemConfig c = SystemConfig::Oc3();
+  EXPECT_EQ(c.num_sites, 100);
+  EXPECT_DOUBLE_EQ(c.network.latency, 0.004);
+  EXPECT_DOUBLE_EQ(c.network.bandwidth_bps, 155e6);
+  EXPECT_EQ(c.total_items(), 2000);
+  EXPECT_DOUBLE_EQ(c.timeout, 0.5);
+  EXPECT_DOUBLE_EQ(c.cpu_mips, 300.0);
+  EXPECT_EQ(c.graph.queue_bound, 300u);
+  EXPECT_DOUBLE_EQ(c.graph.add_instr, 2000);
+  EXPECT_DOUBLE_EQ(c.graph.check_instr_per_edge, 117);
+  EXPECT_DOUBLE_EQ(c.disk.latency, 0.0097);
+  EXPECT_EQ(c.disk.disks_per_site, 10);
+  EXPECT_DOUBLE_EQ(c.disk.buffer_miss_ratio, 0.10);
+  EXPECT_DOUBLE_EQ(c.workload.read_only_fraction, 0.90);
+  EXPECT_DOUBLE_EQ(c.workload.write_op_fraction, 0.30);
+}
+
+TEST(ConfigTest, Oc1PresetChangesNetworkOnly) {
+  SystemConfig oc3 = SystemConfig::Oc3();
+  SystemConfig oc1 = SystemConfig::Oc1();
+  EXPECT_DOUBLE_EQ(oc1.network.latency, 0.1);
+  EXPECT_DOUBLE_EQ(oc1.network.bandwidth_bps, 55e6);
+  EXPECT_EQ(oc1.num_sites, oc3.num_sites);
+  EXPECT_EQ(oc1.total_items(), oc3.total_items());
+}
+
+TEST(ConfigTest, Oc1StarShrinksTo20SitesAnd400Items) {
+  SystemConfig c = SystemConfig::Oc1Star();
+  EXPECT_EQ(c.num_sites, 20);
+  EXPECT_EQ(c.total_items(), 400);
+  EXPECT_DOUBLE_EQ(c.network.latency, 0.1);
+}
+
+TEST(ConfigTest, VsNFixesLocTps) {
+  for (int sites : {2, 40, 140}) {
+    SystemConfig c = SystemConfig::VsN(sites);
+    EXPECT_EQ(c.num_sites, sites);
+    EXPECT_DOUBLE_EQ(c.loc_tps(), 15.0);
+    EXPECT_EQ(c.total_items(), 20 * sites);
+  }
+}
+
+TEST(ConfigTest, VsNFixedSplitsDatabase) {
+  SystemConfig c = SystemConfig::VsNFixed(40, 300, 2000);
+  EXPECT_EQ(c.num_sites, 40);
+  EXPECT_DOUBLE_EQ(c.tps, 300);
+  EXPECT_EQ(c.workload.items_per_site, 50);
+  EXPECT_DOUBLE_EQ(c.loc_tps(), 7.5);
+}
+
+TEST(ConfigTest, PrimarySiteMapping) {
+  SystemConfig c = SystemConfig::Oc1Star();  // 20 items per site
+  EXPECT_EQ(c.PrimarySite(0), 0);
+  EXPECT_EQ(c.PrimarySite(19), 0);
+  EXPECT_EQ(c.PrimarySite(20), 1);
+  EXPECT_EQ(c.PrimarySite(399), 19);
+}
+
+TEST(ConfigTest, FullReplicationHasReplicaEverywhere) {
+  SystemConfig c = SystemConfig::Oc1Star();
+  for (db::SiteId s = 0; s < 20; ++s) {
+    EXPECT_TRUE(c.HasReplica(137, s));
+  }
+  EXPECT_EQ(c.replicas_per_item(), 20);
+}
+
+TEST(ConfigTest, PartialReplicationPlacesKConsecutive) {
+  SystemConfig c = SystemConfig::Oc1Star();
+  c.replication_degree = 3;
+  // Item 0's primary is site 0: replicas at 0, 1, 2 only.
+  EXPECT_TRUE(c.HasReplica(0, 0));
+  EXPECT_TRUE(c.HasReplica(0, 1));
+  EXPECT_TRUE(c.HasReplica(0, 2));
+  EXPECT_FALSE(c.HasReplica(0, 3));
+  EXPECT_FALSE(c.HasReplica(0, 19));
+  // Wrap-around: item owned by site 19 replicates at 19, 0, 1.
+  EXPECT_TRUE(c.HasReplica(19 * 20, 19));
+  EXPECT_TRUE(c.HasReplica(19 * 20, 0));
+  EXPECT_TRUE(c.HasReplica(19 * 20, 1));
+  EXPECT_FALSE(c.HasReplica(19 * 20, 2));
+  EXPECT_EQ(c.replicas_per_item(), 3);
+}
+
+TEST(ConfigTest, FormatTableMentionsKeyParameters) {
+  std::string table = FormatConfigTable(SystemConfig::Oc3());
+  EXPECT_NE(table.find("100"), std::string::npos);   // sites
+  EXPECT_NE(table.find("2000"), std::string::npos);  // |DB| and add cost
+  EXPECT_NE(table.find("117"), std::string::npos);   // cycle-check cost
+  EXPECT_NE(table.find("300"), std::string::npos);   // MIPS / queue bound
+}
+
+TEST(ConfigTest, ProtocolNames) {
+  EXPECT_STREQ(ProtocolKindName(ProtocolKind::kLocking), "Locking");
+  EXPECT_STREQ(ProtocolKindName(ProtocolKind::kPessimistic), "Pessimistic");
+  EXPECT_STREQ(ProtocolKindName(ProtocolKind::kOptimistic), "Optimistic");
+}
+
+// ---------------------------------------------------------------------------
+// HistoryRecorder / MVSG
+// ---------------------------------------------------------------------------
+
+db::Timestamp Ts(double t, db::TxnId id) { return db::Timestamp{t, id}; }
+
+TEST(HistoryTest, SerialExecutionPasses) {
+  HistoryRecorder h;
+  h.RecordCommit(1, Ts(1, 1), {10});
+  h.RecordRead(2, 10, Ts(1, 1));
+  h.RecordCommit(2, Ts(2, 2), {11});
+  h.RecordRead(3, 11, Ts(2, 2));
+  h.RecordCommit(3, Ts(3, 3), {});
+  EXPECT_TRUE(h.CheckOneCopySerializable());
+}
+
+TEST(HistoryTest, ClassicWriteSkewStyleCycleFails) {
+  HistoryRecorder h;
+  // T1 reads x's initial version then writes y; T2 reads y's initial version
+  // then writes x: T1 < T2 (rw on x... actually on y) and T2 < T1 — cycle.
+  h.RecordRead(1, /*item=*/10, db::kZeroTimestamp);  // T1 reads x0
+  h.RecordRead(2, /*item=*/11, db::kZeroTimestamp);  // T2 reads y0
+  h.RecordCommit(1, Ts(1, 1), {11});                 // T1 writes y
+  h.RecordCommit(2, Ts(2, 2), {10});                 // T2 writes x
+  std::string why;
+  EXPECT_FALSE(h.CheckOneCopySerializable(&why));
+  EXPECT_NE(why.find("cycle"), std::string::npos);
+}
+
+TEST(HistoryTest, StaleReadOfOldVersionIsFineAlone) {
+  HistoryRecorder h;
+  h.RecordCommit(1, Ts(1, 1), {10});
+  h.RecordCommit(2, Ts(2, 2), {10});
+  // Reader saw version 1 even though version 2 exists: serializable as
+  // "reader before txn 2".
+  h.RecordRead(3, 10, Ts(1, 1));
+  h.RecordCommit(3, Ts(3, 3), {});
+  EXPECT_TRUE(h.CheckOneCopySerializable());
+}
+
+TEST(HistoryTest, StaleReadPlusWrBackEdgeFails) {
+  HistoryRecorder h;
+  h.RecordCommit(1, Ts(1, 1), {10});       // writes x (v1)
+  h.RecordCommit(2, Ts(2, 2), {10, 11});   // writes x (v2) and y (v2)
+  // Reader sees the OLD x but the NEW y: must be both before and after 2.
+  h.RecordRead(3, 10, Ts(1, 1));
+  h.RecordRead(3, 11, Ts(2, 2));
+  h.RecordCommit(3, Ts(3, 3), {});
+  EXPECT_FALSE(h.CheckOneCopySerializable());
+}
+
+TEST(HistoryTest, AbortedReadersAreIgnored) {
+  HistoryRecorder h;
+  h.RecordCommit(1, Ts(1, 1), {10});
+  h.RecordCommit(2, Ts(2, 2), {10, 11});
+  // Same inconsistent read pattern as above — but txn 3 never commits.
+  h.RecordRead(3, 10, Ts(1, 1));
+  h.RecordRead(3, 11, Ts(2, 2));
+  EXPECT_TRUE(h.CheckOneCopySerializable());
+}
+
+TEST(HistoryTest, WwOrderIsTimestampOrder) {
+  HistoryRecorder h;
+  // Committed in id order but timestamps reversed: version order follows
+  // timestamps, and a reader of the ts-newest version is consistent.
+  h.RecordCommit(2, Ts(1, 2), {10});
+  h.RecordCommit(1, Ts(2, 1), {10});
+  h.RecordRead(3, 10, Ts(2, 1));
+  h.RecordCommit(3, Ts(3, 3), {});
+  EXPECT_TRUE(h.CheckOneCopySerializable());
+  EXPECT_EQ(h.committed_count(), 3u);
+  EXPECT_EQ(h.reads_recorded(), 1u);
+}
+
+// ---------------------------------------------------------------------------
+// Metrics
+// ---------------------------------------------------------------------------
+
+txn::Transaction MakeTxn(db::TxnId id, bool update, bool measured) {
+  txn::Transaction t;
+  t.id = id;
+  t.is_update = update;
+  t.measured = measured;
+  t.submit_time = 1.0;
+  t.commit_time = 1.5;
+  t.terminal_time = 2.5;
+  return t;
+}
+
+TEST(MetricsTest, CountsAndResponseTimes) {
+  Metrics m;
+  txn::Transaction ro = MakeTxn(1, false, true);
+  txn::Transaction up = MakeTxn(2, true, true);
+  m.OnSubmit(ro);
+  m.OnSubmit(up);
+  m.OnCommit(ro);
+  m.OnCommit(up);
+  m.OnComplete(up);
+  m.OnAbort(MakeTxn(3, false, true));
+  const MetricsSnapshot& s = m.snapshot();
+  EXPECT_EQ(s.submitted, 2u);
+  EXPECT_EQ(s.committed, 2u);
+  EXPECT_EQ(s.completed, 1u);
+  EXPECT_EQ(s.aborted, 1u);
+  EXPECT_DOUBLE_EQ(s.read_only_response.Mean(), 0.5);
+  EXPECT_DOUBLE_EQ(s.update_response.Mean(), 0.5);
+  EXPECT_DOUBLE_EQ(s.commit_to_complete.Mean(), 1.0);
+}
+
+TEST(MetricsTest, UnmeasuredTransactionsExcluded) {
+  Metrics m;
+  txn::Transaction warm = MakeTxn(1, true, false);
+  m.OnSubmit(warm);
+  m.OnCommit(warm);
+  m.OnComplete(warm);
+  EXPECT_EQ(m.snapshot().submitted, 0u);
+  EXPECT_EQ(m.snapshot().completed, 0u);
+}
+
+TEST(MetricsTest, ToStringIsPopulated) {
+  Metrics m;
+  m.OnSubmit(MakeTxn(1, false, true));
+  MetricsSnapshot s = m.snapshot();
+  s.duration = 2.0;
+  s.completed_tps = 42.5;
+  std::string text = s.ToString();
+  EXPECT_NE(text.find("submitted 1"), std::string::npos);
+  EXPECT_NE(text.find("42.5"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Analytic contention model (Appendix Theorem 1)
+// ---------------------------------------------------------------------------
+
+TEST(ContentionModelTest, BetaFormula) {
+  analysis::ContentionParams p;
+  p.p_update = 0.1;
+  p.p_write = 0.3;
+  p.num_ops = 10;
+  p.update_lifetime = 0.05;
+  p.read_only_lifetime = 0.02;
+  // beta = 0.1*0.3*100*((1 + 0.1 - 0.03)*0.05 + 0.9*0.02)
+  double expected = 0.1 * 0.3 * 100 * ((1.07) * 0.05 + 0.9 * 0.02);
+  EXPECT_NEAR(analysis::ContentionBeta(p), expected, 1e-12);
+}
+
+TEST(ContentionModelTest, LinearInTpsOverDb) {
+  analysis::ContentionParams p;
+  double e1 = analysis::ExpectedContention(p, 1000, 2000);
+  double e2 = analysis::ExpectedContention(p, 2000, 2000);
+  double e3 = analysis::ExpectedContention(p, 1000, 4000);
+  EXPECT_NEAR(e2, 2 * e1, 1e-12);
+  EXPECT_NEAR(e3, e1 / 2, 1e-12);
+}
+
+TEST(ContentionModelTest, WaitProbabilityBounded) {
+  analysis::ContentionParams p;
+  EXPECT_GE(analysis::ApproxWaitProbability(p, 1e9, 10), 0.99);
+  EXPECT_NEAR(analysis::ApproxWaitProbability(p, 0, 2000), 0.0, 1e-12);
+}
+
+// ---------------------------------------------------------------------------
+// BenchOptions
+// ---------------------------------------------------------------------------
+
+TEST(BenchOptionsTest, ParsesFlags) {
+  const char* argv[] = {"bench",          "--txns=1234", "--points=3",
+                        "--figure=7",     "--seed=9",    "--protocols=lo"};
+  BenchOptions opt =
+      BenchOptions::Parse(6, const_cast<char**>(argv));
+  EXPECT_EQ(opt.txns, 1234u);
+  EXPECT_EQ(opt.max_points, 3);
+  EXPECT_EQ(opt.figure, 7);
+  EXPECT_EQ(opt.seed, 9u);
+  ASSERT_EQ(opt.protocols.size(), 2u);
+  EXPECT_EQ(opt.protocols[0], ProtocolKind::kLocking);
+  EXPECT_EQ(opt.protocols[1], ProtocolKind::kOptimistic);
+}
+
+TEST(BenchOptionsTest, ThinKeepsEndpoints) {
+  BenchOptions opt;
+  opt.max_points = 3;
+  std::vector<double> xs = {1, 2, 3, 4, 5, 6, 7};
+  std::vector<double> thinned = opt.Thin(xs);
+  ASSERT_EQ(thinned.size(), 3u);
+  EXPECT_DOUBLE_EQ(thinned.front(), 1);
+  EXPECT_DOUBLE_EQ(thinned.back(), 7);
+}
+
+TEST(BenchOptionsTest, ThinNoOpWhenEnoughBudget) {
+  BenchOptions opt;
+  std::vector<double> xs = {1, 2, 3};
+  EXPECT_EQ(opt.Thin(xs).size(), 3u);
+}
+
+}  // namespace
+}  // namespace lazyrep::core

@@ -1,0 +1,390 @@
+// Unit tests for the local-DBMS substrate (src/db): lock manager, item store
+// with the Thomas Write Rule, and the completion tracker.
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "db/completion_tracker.h"
+#include "db/item_store.h"
+#include "db/lock_manager.h"
+#include "db/types.h"
+#include "sim/process.h"
+#include "sim/simulation.h"
+
+namespace lazyrep::db {
+namespace {
+
+using sim::Process;
+using sim::Simulation;
+using sim::WaitStatus;
+
+Process AcquireLock(Simulation* sim, LockManager* lm, TxnId txn, ItemId item,
+                    LockMode mode, sim::SimTime timeout, WaitStatus* status,
+                    double* when) {
+  *status = co_await lm->Acquire(txn, item, mode, timeout);
+  *when = sim->Now();
+}
+
+// ---------------------------------------------------------------------------
+// LockManager
+// ---------------------------------------------------------------------------
+
+TEST(LockManagerTest, SharedLocksCoexist) {
+  Simulation sim;
+  LockManager lm(&sim);
+  WaitStatus s1, s2;
+  double t1, t2;
+  sim.Spawn(AcquireLock(&sim, &lm, 1, 5, LockMode::kShared, 1.0, &s1, &t1));
+  sim.Spawn(AcquireLock(&sim, &lm, 2, 5, LockMode::kShared, 1.0, &s2, &t2));
+  sim.Run();
+  EXPECT_EQ(s1, WaitStatus::kSignaled);
+  EXPECT_EQ(s2, WaitStatus::kSignaled);
+  EXPECT_EQ(lm.HolderCount(5), 2u);
+}
+
+TEST(LockManagerTest, UpdateLocksCoexistBecauseOfTwr) {
+  Simulation sim;
+  LockManager lm(&sim);
+  WaitStatus s1, s2;
+  double t1, t2;
+  sim.Spawn(AcquireLock(&sim, &lm, 1, 5, LockMode::kUpdate, 1.0, &s1, &t1));
+  sim.Spawn(AcquireLock(&sim, &lm, 2, 5, LockMode::kUpdate, 1.0, &s2, &t2));
+  sim.Run();
+  EXPECT_EQ(s1, WaitStatus::kSignaled);
+  EXPECT_EQ(s2, WaitStatus::kSignaled);  // ww never blocks
+  EXPECT_DOUBLE_EQ(t2, 0.0);
+}
+
+TEST(LockManagerTest, SharedBlocksUpdateUntilRelease) {
+  Simulation sim;
+  LockManager lm(&sim);
+  WaitStatus s1, s2;
+  double t1, t2;
+  sim.Spawn(AcquireLock(&sim, &lm, 1, 5, LockMode::kShared, 10.0, &s1, &t1));
+  sim.Spawn(AcquireLock(&sim, &lm, 2, 5, LockMode::kUpdate, 10.0, &s2, &t2));
+  sim.ScheduleCallbackAt(3.0, [&] { lm.Release(1, 5); });
+  sim.Run();
+  EXPECT_EQ(s2, WaitStatus::kSignaled);
+  EXPECT_DOUBLE_EQ(t2, 3.0);
+}
+
+TEST(LockManagerTest, UpdateBlocksShared) {
+  Simulation sim;
+  LockManager lm(&sim);
+  WaitStatus s1, s2;
+  double t1, t2;
+  sim.Spawn(AcquireLock(&sim, &lm, 1, 5, LockMode::kUpdate, 10.0, &s1, &t1));
+  sim.Spawn(AcquireLock(&sim, &lm, 2, 5, LockMode::kShared, 10.0, &s2, &t2));
+  sim.ScheduleCallbackAt(2.0, [&] { lm.ReleaseAll(1); });
+  sim.Run();
+  EXPECT_EQ(s2, WaitStatus::kSignaled);
+  EXPECT_DOUBLE_EQ(t2, 2.0);
+}
+
+TEST(LockManagerTest, WaiterTimesOut) {
+  Simulation sim;
+  LockManager lm(&sim);
+  WaitStatus s1, s2;
+  double t1, t2;
+  sim.Spawn(AcquireLock(&sim, &lm, 1, 5, LockMode::kUpdate, 10.0, &s1, &t1));
+  sim.Spawn(AcquireLock(&sim, &lm, 2, 5, LockMode::kShared, 0.5, &s2, &t2));
+  sim.Run();
+  EXPECT_EQ(s2, WaitStatus::kTimeout);
+  EXPECT_DOUBLE_EQ(t2, 0.5);
+  EXPECT_EQ(lm.timeouts(), 1u);
+  EXPECT_EQ(lm.WaiterCount(5), 0u);  // the timed-out waiter left the queue
+}
+
+TEST(LockManagerTest, FifoOrderAmongWaiters) {
+  Simulation sim;
+  LockManager lm(&sim);
+  WaitStatus s1, s2, s3;
+  double t1, t2, t3;
+  sim.Spawn(AcquireLock(&sim, &lm, 1, 5, LockMode::kShared, 99.0, &s1, &t1));
+  sim.Spawn(AcquireLock(&sim, &lm, 2, 5, LockMode::kUpdate, 99.0, &s2, &t2));
+  // Txn 3's shared request queues behind txn 2's update (FIFO, no starvation
+  // of writers).
+  sim.Spawn(AcquireLock(&sim, &lm, 3, 5, LockMode::kShared, 99.0, &s3, &t3));
+  sim.ScheduleCallbackAt(1.0, [&] { lm.ReleaseAll(1); });
+  sim.ScheduleCallbackAt(2.0, [&] { lm.ReleaseAll(2); });
+  sim.Run();
+  EXPECT_DOUBLE_EQ(t2, 1.0);
+  EXPECT_DOUBLE_EQ(t3, 2.0);
+}
+
+TEST(LockManagerTest, ReacquisitionIsImmediate) {
+  Simulation sim;
+  LockManager lm(&sim);
+  WaitStatus s1, s2, s3;
+  double t1, t2, t3;
+  sim.Spawn(AcquireLock(&sim, &lm, 1, 5, LockMode::kUpdate, 1.0, &s1, &t1));
+  sim.Spawn(AcquireLock(&sim, &lm, 1, 5, LockMode::kShared, 1.0, &s2, &t2));
+  sim.Spawn(AcquireLock(&sim, &lm, 1, 5, LockMode::kUpdate, 1.0, &s3, &t3));
+  sim.Run();
+  EXPECT_EQ(s2, WaitStatus::kSignaled);
+  EXPECT_EQ(s3, WaitStatus::kSignaled);
+  EXPECT_EQ(lm.HolderCount(5), 1u);
+}
+
+TEST(LockManagerTest, UpgradeWaitsForOtherReaders) {
+  Simulation sim;
+  LockManager lm(&sim);
+  WaitStatus s1, s2, s3;
+  double t1, t2, t3;
+  sim.Spawn(AcquireLock(&sim, &lm, 1, 5, LockMode::kShared, 99.0, &s1, &t1));
+  sim.Spawn(AcquireLock(&sim, &lm, 2, 5, LockMode::kShared, 99.0, &s2, &t2));
+  // Txn 1 upgrades; must wait for txn 2's shared lock to go away.
+  sim.ScheduleCallbackAt(1.0, [&] {
+    sim.Spawn(AcquireLock(&sim, &lm, 1, 5, LockMode::kUpdate, 99.0, &s3, &t3));
+  });
+  sim.ScheduleCallbackAt(2.0, [&] { lm.ReleaseAll(2); });
+  sim.Run();
+  EXPECT_EQ(s3, WaitStatus::kSignaled);
+  EXPECT_DOUBLE_EQ(t3, 2.0);
+  EXPECT_TRUE(lm.Holds(1, 5, LockMode::kUpdate));
+}
+
+TEST(LockManagerTest, UpgradeJumpsQueueAheadOfNewRequests) {
+  Simulation sim;
+  LockManager lm(&sim);
+  WaitStatus s_up, s_new;
+  double t_up, t_new;
+  // Txn 1 holds S. Txn 2 queues an update. Txn 1 then upgrades: its request
+  // goes to the queue front, so after txn 1 releases... actually txn 1's
+  // upgrade is only blocked by other S holders (none besides itself), so it
+  // is granted immediately even though txn 2 queued first.
+  WaitStatus s1;
+  double t1;
+  sim.Spawn(AcquireLock(&sim, &lm, 1, 5, LockMode::kShared, 99.0, &s1, &t1));
+  sim.ScheduleCallbackAt(1.0, [&] {
+    sim.Spawn(AcquireLock(&sim, &lm, 2, 5, LockMode::kShared, 99.0, &s_new,
+                          &t_new));
+  });
+  // Txn 2's shared request coexists with txn 1's shared lock.
+  sim.ScheduleCallbackAt(2.0, [&] {
+    sim.Spawn(
+        AcquireLock(&sim, &lm, 1, 5, LockMode::kUpdate, 99.0, &s_up, &t_up));
+  });
+  sim.ScheduleCallbackAt(3.0, [&] { lm.ReleaseAll(2); });
+  sim.Run();
+  EXPECT_EQ(s_up, WaitStatus::kSignaled);
+  EXPECT_DOUBLE_EQ(t_up, 3.0);  // blocked only by txn 2's shared hold
+}
+
+TEST(LockManagerTest, ReleaseAllFreesEverything) {
+  Simulation sim;
+  LockManager lm(&sim);
+  WaitStatus s;
+  double t;
+  for (ItemId i = 0; i < 5; ++i) {
+    sim.Spawn(AcquireLock(&sim, &lm, 7, i, LockMode::kUpdate, 1.0, &s, &t));
+  }
+  sim.Run();
+  EXPECT_EQ(lm.HeldItems(7).size(), 5u);
+  lm.ReleaseAll(7);
+  EXPECT_EQ(lm.HeldItems(7).size(), 0u);
+  for (ItemId i = 0; i < 5; ++i) EXPECT_EQ(lm.HolderCount(i), 0u);
+}
+
+TEST(LockManagerTest, TimeoutOfMiddleWaiterUnblocksOthers) {
+  Simulation sim;
+  LockManager lm(&sim);
+  WaitStatus s1, s2, s3;
+  double t1, t2, t3;
+  sim.Spawn(AcquireLock(&sim, &lm, 1, 5, LockMode::kShared, 99.0, &s1, &t1));
+  // Txn 2 queues an update with a short timeout; txn 3's shared queues after.
+  sim.Spawn(AcquireLock(&sim, &lm, 2, 5, LockMode::kUpdate, 0.5, &s2, &t2));
+  sim.Spawn(AcquireLock(&sim, &lm, 3, 5, LockMode::kShared, 99.0, &s3, &t3));
+  sim.Run();
+  EXPECT_EQ(s2, WaitStatus::kTimeout);
+  EXPECT_EQ(s3, WaitStatus::kSignaled);
+  // Txn 3 granted right when txn 2 left the queue (compatible with holder 1).
+  EXPECT_DOUBLE_EQ(t3, 0.5);
+}
+
+// ---------------------------------------------------------------------------
+// ItemStore / Thomas Write Rule
+// ---------------------------------------------------------------------------
+
+TEST(ItemStoreTest, NewerWriteInstalls) {
+  ItemStore store(10);
+  Timestamp ts{1.0, 42};
+  auto r = store.ApplyWrite(3, ts);
+  EXPECT_TRUE(r.applied);
+  EXPECT_EQ(store.VersionOf(3), ts);
+  EXPECT_EQ(r.other_writer, kNoTxn);  // replaced the initial version
+}
+
+TEST(ItemStoreTest, ThomasWriteRuleIgnoresStaleWrite) {
+  ItemStore store(10);
+  store.ApplyWrite(3, Timestamp{2.0, 50});
+  auto r = store.ApplyWrite(3, Timestamp{1.0, 42});  // older timestamp
+  EXPECT_FALSE(r.applied);
+  EXPECT_EQ(r.other_writer, 50u);  // the ignored writer precedes txn 50
+  EXPECT_EQ(store.VersionOf(3).txn, 50u);
+  EXPECT_EQ(store.writes_ignored(), 1u);
+}
+
+TEST(ItemStoreTest, TieBreakByTxnId) {
+  ItemStore store(10);
+  store.ApplyWrite(3, Timestamp{1.0, 50});
+  // Same time, higher txn id: counts as newer.
+  auto r = store.ApplyWrite(3, Timestamp{1.0, 51});
+  EXPECT_TRUE(r.applied);
+  // Same time, lower txn id: ignored.
+  auto r2 = store.ApplyWrite(3, Timestamp{1.0, 49});
+  EXPECT_FALSE(r2.applied);
+}
+
+TEST(ItemStoreTest, WriteCollectsPriorReaders) {
+  ItemStore store(10);
+  store.Read(3, 100);
+  store.Read(3, 101);
+  store.Read(3, 100);  // duplicate registration collapses
+  auto r = store.ApplyWrite(3, Timestamp{1.0, 42});
+  EXPECT_TRUE(r.applied);
+  ASSERT_EQ(r.prior_readers.size(), 2u);
+  EXPECT_EQ(store.ReadersOf(3).size(), 0u);  // cleared by the write
+}
+
+TEST(ItemStoreTest, ReadReturnsVersionAndRegisters) {
+  ItemStore store(10);
+  store.ApplyWrite(3, Timestamp{1.0, 42});
+  Timestamp v = store.Read(3, 100);
+  EXPECT_EQ(v.txn, 42u);
+  EXPECT_EQ(store.ReadersOf(3).size(), 1u);
+  store.RemoveReader(100, {3});
+  EXPECT_EQ(store.ReadersOf(3).size(), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// CompletionTracker
+// ---------------------------------------------------------------------------
+
+TEST(CompletionTrackerTest, CompletesWhenCommitsAndNoPreds) {
+  CompletionTracker tracker;
+  std::vector<TxnId> completed;
+  tracker.set_on_completed([&](TxnId t) { completed.push_back(t); });
+  tracker.Register(1, 0);
+  tracker.SetRemainingCommits(1, 3);
+  tracker.OnSubtxnCommitted(1);
+  tracker.OnSubtxnCommitted(1);
+  EXPECT_TRUE(completed.empty());
+  tracker.OnSubtxnCommitted(1);
+  EXPECT_EQ(completed, (std::vector<TxnId>{1}));
+  EXPECT_TRUE(tracker.IsCompleted(1));
+}
+
+TEST(CompletionTrackerTest, PredecessorDelaysCompletion) {
+  CompletionTracker tracker;
+  std::vector<TxnId> completed;
+  tracker.set_on_completed([&](TxnId t) { completed.push_back(t); });
+  tracker.Register(1, 0);
+  tracker.Register(2, 1);
+  tracker.AddPredecessor(2, 1);
+  tracker.SetRemainingCommits(2, 1);
+  tracker.OnSubtxnCommitted(2);
+  EXPECT_TRUE(completed.empty());  // waiting on txn 1
+  tracker.SetRemainingCommits(1, 1);
+  tracker.OnSubtxnCommitted(1);
+  // Central cascade: 1 completes, then 2.
+  EXPECT_EQ(completed, (std::vector<TxnId>{1, 2}));
+}
+
+TEST(CompletionTrackerTest, CascadeThroughChain) {
+  CompletionTracker tracker;
+  std::vector<TxnId> completed;
+  tracker.set_on_completed([&](TxnId t) { completed.push_back(t); });
+  for (TxnId t = 1; t <= 4; ++t) {
+    tracker.Register(t, 0);
+    tracker.SetRemainingCommits(t, 1);
+  }
+  tracker.AddPredecessor(2, 1);
+  tracker.AddPredecessor(3, 2);
+  tracker.AddPredecessor(4, 3);
+  tracker.OnSubtxnCommitted(4);
+  tracker.OnSubtxnCommitted(3);
+  tracker.OnSubtxnCommitted(2);
+  EXPECT_TRUE(completed.empty());
+  tracker.OnSubtxnCommitted(1);
+  EXPECT_EQ(completed, (std::vector<TxnId>{1, 2, 3, 4}));
+}
+
+TEST(CompletionTrackerTest, AbortReleasesDependents) {
+  CompletionTracker tracker;
+  std::vector<TxnId> completed;
+  tracker.set_on_completed([&](TxnId t) { completed.push_back(t); });
+  tracker.Register(1, 0);
+  tracker.Register(2, 0);
+  tracker.AddPredecessor(2, 1);
+  tracker.SetRemainingCommits(2, 1);
+  tracker.OnSubtxnCommitted(2);
+  EXPECT_TRUE(completed.empty());
+  tracker.OnAborted(1);
+  EXPECT_EQ(completed, (std::vector<TxnId>{2}));
+  EXPECT_TRUE(tracker.IsAborted(1));
+  EXPECT_FALSE(tracker.IsCompleted(1));
+}
+
+TEST(CompletionTrackerTest, TerminalPredecessorIgnored) {
+  CompletionTracker tracker;
+  std::vector<TxnId> completed;
+  tracker.set_on_completed([&](TxnId t) { completed.push_back(t); });
+  tracker.Register(1, 0);
+  tracker.SetRemainingCommits(1, 1);
+  tracker.OnSubtxnCommitted(1);  // completed immediately
+  tracker.Register(2, 0);
+  tracker.AddPredecessor(2, 1);    // terminal: no edge
+  tracker.AddPredecessor(2, 999);  // unknown: no edge
+  tracker.SetRemainingCommits(2, 1);
+  tracker.OnSubtxnCommitted(2);
+  EXPECT_EQ(completed, (std::vector<TxnId>{1, 2}));
+}
+
+TEST(CompletionTrackerTest, SelfPredecessorIgnored) {
+  CompletionTracker tracker;
+  tracker.Register(1, 0);
+  tracker.AddPredecessor(1, 1);
+  tracker.SetRemainingCommits(1, 1);
+  tracker.OnSubtxnCommitted(1);
+  EXPECT_TRUE(tracker.IsCompleted(1));
+}
+
+TEST(CompletionTrackerTest, DeferredCascadeWaitsForPerSiteNotice) {
+  CompletionTracker tracker;
+  tracker.set_deferred_cascade(true);
+  std::vector<TxnId> completed;
+  tracker.set_on_completed([&](TxnId t) { completed.push_back(t); });
+  tracker.Register(1, 0);
+  tracker.Register(2, 3);  // dependent originates at site 3
+  tracker.Register(3, 4);  // dependent originates at site 4
+  tracker.AddPredecessor(2, 1);
+  tracker.AddPredecessor(3, 1);
+  for (TxnId t : {TxnId{1}, TxnId{2}, TxnId{3}}) {
+    tracker.SetRemainingCommits(t, 1);
+    tracker.OnSubtxnCommitted(t);
+  }
+  // Txn 1 completed, but 2 and 3 wait for the notice to reach their sites.
+  EXPECT_EQ(completed, (std::vector<TxnId>{1}));
+  tracker.NotifyCompletionAtSite(1, 3);
+  EXPECT_EQ(completed, (std::vector<TxnId>{1, 2}));
+  tracker.NotifyCompletionAtSite(1, 4);
+  EXPECT_EQ(completed, (std::vector<TxnId>{1, 2, 3}));
+}
+
+TEST(CompletionTrackerTest, LiveCountTracksStates) {
+  CompletionTracker tracker;
+  tracker.Register(1, 0);
+  tracker.Register(2, 0);
+  EXPECT_EQ(tracker.live_count(), 2u);
+  tracker.OnAborted(1);
+  EXPECT_EQ(tracker.live_count(), 1u);
+  tracker.SetRemainingCommits(2, 1);
+  tracker.OnSubtxnCommitted(2);
+  EXPECT_EQ(tracker.live_count(), 0u);
+  EXPECT_TRUE(tracker.IsLive(2) == false && tracker.IsTerminal(2));
+}
+
+}  // namespace
+}  // namespace lazyrep::db

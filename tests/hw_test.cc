@@ -1,0 +1,182 @@
+// Unit tests for the hardware models (src/hw).
+
+#include <gtest/gtest.h>
+
+#include "hw/cpu.h"
+#include "hw/disk.h"
+#include "sim/process.h"
+#include "sim/simulation.h"
+
+namespace lazyrep::hw {
+namespace {
+
+using sim::Process;
+using sim::Simulation;
+
+Process Execute(Simulation* sim, Cpu* cpu, double instructions,
+                double* done_at) {
+  co_await cpu->Execute(instructions);
+  *done_at = sim->Now();
+}
+
+TEST(CpuTest, ExecutionTimeMatchesMips) {
+  Simulation sim;
+  Cpu cpu(&sim, "cpu", 300.0);  // 300 MIPS as in the paper
+  double done = -1;
+  sim.Spawn(Execute(&sim, &cpu, 3'000'000, &done));  // 3M instructions
+  sim.Run();
+  EXPECT_NEAR(done, 0.01, 1e-12);
+  EXPECT_NEAR(cpu.SecondsFor(2000), 2000.0 / 300e6, 1e-18);
+}
+
+TEST(CpuTest, RequestsQueueFcfs) {
+  Simulation sim;
+  Cpu cpu(&sim, "cpu", 100.0);
+  double d1 = -1;
+  double d2 = -1;
+  sim.Spawn(Execute(&sim, &cpu, 100e6, &d1));  // 1 s
+  sim.Spawn(Execute(&sim, &cpu, 100e6, &d2));  // queued behind
+  sim.Run();
+  EXPECT_NEAR(d1, 1.0, 1e-12);
+  EXPECT_NEAR(d2, 2.0, 1e-12);
+  EXPECT_NEAR(cpu.Utilization(), 1.0, 1e-9);
+}
+
+Process ServeOnCpu(Simulation* sim, Cpu* cpu, std::function<double()> work,
+                   size_t bound, sim::WaitStatus* status, double* done_at) {
+  *status = co_await cpu->Serve(std::move(work), bound);
+  *done_at = sim->Now();
+}
+
+TEST(CpuTest, ServeEvaluatesWorkAtServiceStartInOrder) {
+  Simulation sim;
+  Cpu cpu(&sim, "graph_cpu", 1.0);  // 1 MIPS: 1e6 instructions = 1 s
+  std::vector<int> order;
+  sim::WaitStatus s1, s2;
+  double d1 = -1, d2 = -1;
+  // Both submitted at t=0; the second request's work must run only after the
+  // first completes (single-threaded server semantics).
+  sim.Spawn(ServeOnCpu(
+      &sim, &cpu,
+      [&] {
+        order.push_back(1);
+        return 1e6;
+      },
+      100, &s1, &d1));
+  sim.Spawn(ServeOnCpu(
+      &sim, &cpu,
+      [&] {
+        order.push_back(2);
+        EXPECT_NEAR(sim.Now(), 1.0, 1e-12);  // starts when server frees up
+        return 2e6;
+      },
+      100, &s2, &d2));
+  sim.Run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
+  EXPECT_NEAR(d1, 1.0, 1e-12);
+  EXPECT_NEAR(d2, 3.0, 1e-12);
+}
+
+TEST(CpuTest, ServeRejectsWhenQueueBounded) {
+  Simulation sim;
+  Cpu cpu(&sim, "graph_cpu", 1.0);
+  sim::WaitStatus statuses[3];
+  double dones[3];
+  int work_runs = 0;
+  for (int i = 0; i < 3; ++i) {
+    sim.Spawn(ServeOnCpu(
+        &sim, &cpu,
+        [&work_runs] {
+          ++work_runs;
+          return 1e6;
+        },
+        /*bound=*/1, &statuses[i], &dones[i]));
+  }
+  sim.Run();
+  int rejected = 0;
+  for (auto s : statuses) {
+    if (s == sim::WaitStatus::kRejected) ++rejected;
+  }
+  EXPECT_EQ(rejected, 1);
+  EXPECT_EQ(work_runs, 2);  // rejected request's work never ran
+  EXPECT_EQ(cpu.rejected(), 1u);
+}
+
+Process ReadPages(Simulation* sim, DiskSubsystem* disk, int n, size_t bytes) {
+  for (int i = 0; i < n; ++i) co_await disk->ReadPage(bytes);
+  (void)sim;
+}
+
+TEST(DiskTest, BufferHitRatioRespected) {
+  Simulation sim;
+  DiskParams p;
+  p.buffer_miss_ratio = 0.10;
+  DiskSubsystem disk(&sim, "disk", p, /*seed=*/7);
+  sim.Spawn(ReadPages(&sim, &disk, 10000, 1024));
+  sim.Run();
+  double miss_rate = static_cast<double>(disk.physical_reads()) / 10000.0;
+  EXPECT_NEAR(miss_rate, 0.10, 0.02);
+  EXPECT_EQ(disk.physical_reads() + disk.buffer_hits(), 10000u);
+}
+
+Process ForceLogs(Simulation* sim, DiskSubsystem* disk, int n, size_t bytes,
+                  double* done_at) {
+  for (int i = 0; i < n; ++i) co_await disk->ForceLog(bytes);
+  *done_at = sim->Now();
+}
+
+TEST(DiskTest, LogForceAlwaysHitsDisk) {
+  Simulation sim;
+  DiskParams p;
+  p.latency = 0.0097;
+  p.transfer_rate = 40e6;
+  p.disks_per_site = 1;
+  DiskSubsystem disk(&sim, "disk", p, 7);
+  double done = -1;
+  sim.Spawn(ForceLogs(&sim, &disk, 10, 4096, &done));
+  sim.Run();
+  double per_access = 0.0097 + 4096.0 / 40e6;
+  EXPECT_NEAR(done, 10 * per_access, 1e-9);
+  EXPECT_EQ(disk.physical_writes(), 10u);
+}
+
+Process TenParallelForces(Simulation* sim, DiskSubsystem* disk, double* done) {
+  // Issue 10 log forces concurrently through helper processes.
+  sim::Countdown all(sim, 10);
+  for (int i = 0; i < 10; ++i) {
+    struct Helper {
+      static sim::Process Run(DiskSubsystem* d, sim::Countdown* c) {
+        co_await d->ForceLog(1024);
+        c->Arrive();
+      }
+    };
+    sim->Spawn(Helper::Run(disk, &all));
+  }
+  co_await all.Wait();
+  *done = sim->Now();
+}
+
+TEST(DiskTest, ArrayParallelismAcrossSpindles) {
+  Simulation sim;
+  DiskParams p;
+  p.latency = 0.01;
+  p.transfer_rate = 1e9;  // transfer negligible
+  p.disks_per_site = 10;
+  DiskSubsystem disk(&sim, "disk", p, 7);
+  double done = -1;
+  sim.Spawn(TenParallelForces(&sim, &disk, &done));
+  sim.Run();
+  // All ten proceed in parallel on ten spindles.
+  EXPECT_NEAR(done, 0.01 + 1024.0 / 1e9, 1e-9);
+}
+
+TEST(DiskTest, AccessTimeArithmetic) {
+  Simulation sim;
+  DiskParams p;  // paper defaults
+  DiskSubsystem disk(&sim, "disk", p, 1);
+  // 1 KB page: 9.7 ms + 1024 B / 40 MB/s.
+  EXPECT_NEAR(disk.AccessTime(1024), 0.0097 + 1024.0 / 40e6, 1e-12);
+}
+
+}  // namespace
+}  // namespace lazyrep::hw

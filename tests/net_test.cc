@@ -1,0 +1,150 @@
+// Unit tests for the ATM star network model (src/net).
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "net/star_network.h"
+#include "sim/process.h"
+#include "sim/simulation.h"
+
+namespace lazyrep::net {
+namespace {
+
+using db::SiteId;
+using sim::Process;
+using sim::Simulation;
+
+Process DoTransfer(Simulation* sim, StarNetwork* net, SiteId src, SiteId dst,
+                   size_t bytes, double* done_at) {
+  co_await net->Transfer(src, dst, bytes);
+  *done_at = sim->Now();
+}
+
+TEST(StarNetworkTest, TransferTimeIsTxPlusLatencyPlusRx) {
+  Simulation sim;
+  NetworkParams p{/*latency=*/0.1, /*bandwidth_bps=*/1e6};  // 1 Mb/s
+  StarNetwork net(&sim, 4, p);
+  double done = -1;
+  // 12500 bytes = 100000 bits = 0.1 s per link.
+  sim.Spawn(DoTransfer(&sim, &net, 0, 1, 12500, &done));
+  sim.Run();
+  EXPECT_NEAR(done, 0.1 + 0.1 + 0.1, 1e-12);
+  EXPECT_EQ(net.messages_delivered(), 1u);
+}
+
+TEST(StarNetworkTest, OutgoingLinkSerializesSends) {
+  Simulation sim;
+  NetworkParams p{0.0, 1e6};
+  StarNetwork net(&sim, 4, p);
+  double done1 = -1;
+  double done2 = -1;
+  // Same sender, different receivers: the shared outgoing link serializes.
+  sim.Spawn(DoTransfer(&sim, &net, 0, 1, 12500, &done1));
+  sim.Spawn(DoTransfer(&sim, &net, 0, 2, 12500, &done2));
+  sim.Run();
+  EXPECT_NEAR(done1, 0.2, 1e-12);
+  EXPECT_NEAR(done2, 0.3, 1e-12);  // second send starts after the first
+}
+
+TEST(StarNetworkTest, DifferentSendersProceedInParallel) {
+  Simulation sim;
+  NetworkParams p{0.0, 1e6};
+  StarNetwork net(&sim, 4, p);
+  double done1 = -1;
+  double done2 = -1;
+  sim.Spawn(DoTransfer(&sim, &net, 0, 2, 12500, &done1));
+  sim.Spawn(DoTransfer(&sim, &net, 1, 3, 12500, &done2));
+  sim.Run();
+  EXPECT_NEAR(done1, 0.2, 1e-12);
+  EXPECT_NEAR(done2, 0.2, 1e-12);
+}
+
+TEST(StarNetworkTest, SharedIncomingLinkSerializesReceives) {
+  Simulation sim;
+  NetworkParams p{0.0, 1e6};
+  StarNetwork net(&sim, 4, p);
+  double done1 = -1;
+  double done2 = -1;
+  // Two senders target the same receiver: incoming link serializes arrival.
+  sim.Spawn(DoTransfer(&sim, &net, 0, 3, 12500, &done1));
+  sim.Spawn(DoTransfer(&sim, &net, 1, 3, 12500, &done2));
+  sim.Run();
+  EXPECT_NEAR(done1, 0.2, 1e-12);
+  EXPECT_NEAR(done2, 0.3, 1e-12);
+}
+
+Process DoMulticast(Simulation* sim, StarNetwork* net, SiteId src,
+                    std::vector<SiteId> dsts, size_t bytes,
+                    std::vector<std::pair<SiteId, double>>* deliveries,
+                    double* send_done) {
+  co_await net->Multicast(src, dsts, bytes, [sim, deliveries](SiteId s) {
+    deliveries->emplace_back(s, sim->Now());
+  });
+  *send_done = sim->Now();
+}
+
+TEST(StarNetworkTest, MulticastUsesOutgoingLinkOnce) {
+  Simulation sim;
+  NetworkParams p{/*latency=*/0.05, /*bandwidth_bps=*/1e6};
+  StarNetwork net(&sim, 4, p);
+  std::vector<std::pair<SiteId, double>> deliveries;
+  double send_done = -1;
+  sim.Spawn(DoMulticast(&sim, &net, 0, {1, 2, 3}, 12500, &deliveries,
+                        &send_done));
+  sim.Run();
+  // Sender's outgoing link held once for 0.1 s.
+  EXPECT_NEAR(send_done, 0.1, 1e-12);
+  ASSERT_EQ(deliveries.size(), 3u);
+  // Recipients receive in parallel: each at 0.1 (send) + 0.05 + 0.1 (recv).
+  for (const auto& [site, t] : deliveries) {
+    EXPECT_NEAR(t, 0.25, 1e-12);
+  }
+  EXPECT_EQ(net.messages_delivered(), 3u);
+}
+
+TEST(StarNetworkTest, MulticastDeliveryQueuesBehindIncomingTraffic) {
+  Simulation sim;
+  NetworkParams p{0.0, 1e6};
+  StarNetwork net(&sim, 3, p);
+  double p2p_done = -1;
+  std::vector<std::pair<SiteId, double>> deliveries;
+  double send_done = -1;
+  // Site 1 -> site 2 point-to-point and a multicast 0 -> {2} compete for
+  // site 2's incoming link.
+  sim.Spawn(DoTransfer(&sim, &net, 1, 2, 12500, &p2p_done));
+  sim.Spawn(DoMulticast(&sim, &net, 0, {2}, 12500, &deliveries, &send_done));
+  sim.Run();
+  ASSERT_EQ(deliveries.size(), 1u);
+  // Both arrive at the switch at t=0.1; one gets the incoming link [0.1,0.2],
+  // the other [0.2,0.3].
+  double first = std::min(p2p_done, deliveries[0].second);
+  double second = std::max(p2p_done, deliveries[0].second);
+  EXPECT_NEAR(first, 0.2, 1e-12);
+  EXPECT_NEAR(second, 0.3, 1e-12);
+}
+
+TEST(StarNetworkTest, UtilizationReflectsTraffic) {
+  Simulation sim;
+  NetworkParams p{0.0, 1e6};
+  StarNetwork net(&sim, 2, p);
+  double done = -1;
+  sim.Spawn(DoTransfer(&sim, &net, 0, 1, 12500, &done));
+  sim.Run();
+  // Out link 0 busy [0, .1], in link 1 busy [.1, .2]; each 50% over 0.2 s;
+  // 4 links total -> mean = (0.5 + 0.5) / 4.
+  EXPECT_NEAR(net.MeanUtilization(), 0.25, 1e-9);
+  EXPECT_NEAR(net.MaxUtilization(), 0.5, 1e-9);
+  net.ResetStats();
+  EXPECT_EQ(net.messages_delivered(), 0u);
+}
+
+TEST(StarNetworkTest, TransmitTimeArithmetic) {
+  Simulation sim;
+  StarNetwork oc3(&sim, 2, NetworkParams{0.004, 155e6});
+  // 1 KB data item: 8192 bits / 155 Mb/s ≈ 52.85 µs.
+  EXPECT_NEAR(oc3.TransmitTime(1024), 8192.0 / 155e6, 1e-12);
+}
+
+}  // namespace
+}  // namespace lazyrep::net

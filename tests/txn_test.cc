@@ -1,0 +1,196 @@
+// Unit tests for the transaction model and workload generator (src/txn).
+
+#include <unordered_set>
+
+#include <gtest/gtest.h>
+
+#include "sim/random.h"
+#include "txn/transaction.h"
+#include "txn/workload.h"
+
+namespace lazyrep::txn {
+namespace {
+
+WorkloadParams PaperParams(int num_sites = 10) {
+  WorkloadParams p;
+  p.num_sites = num_sites;
+  p.items_per_site = 20;
+  return p;
+}
+
+TEST(TransactionTest, RebuildAccessSetsSplitsOps) {
+  Transaction t;
+  t.ops = {{db::OpType::kRead, 1},
+           {db::OpType::kWrite, 2},
+           {db::OpType::kRead, 3},
+           {db::OpType::kWrite, 4}};
+  t.RebuildAccessSets();
+  EXPECT_EQ(t.read_set, (std::vector<db::ItemId>{1, 3}));
+  EXPECT_EQ(t.write_set, (std::vector<db::ItemId>{2, 4}));
+  EXPECT_EQ(t.num_ops(), 4);
+}
+
+TEST(TransactionTest, StateNames) {
+  EXPECT_STREQ(TxnStateName(TxnState::kActive), "active");
+  EXPECT_STREQ(TxnStateName(TxnState::kCommitted), "committed");
+  EXPECT_STREQ(TxnStateName(TxnState::kAborted), "aborted");
+  EXPECT_STREQ(TxnStateName(TxnState::kCompleted), "completed");
+}
+
+TEST(WorkloadTest, OpCountWithinBounds) {
+  WorkloadGenerator gen(PaperParams());
+  sim::RandomStream rng(1);
+  for (int i = 0; i < 2000; ++i) {
+    Transaction t = gen.Generate(i + 1, 3, &rng);
+    EXPECT_GE(t.num_ops(), 5);
+    EXPECT_LE(t.num_ops(), 15);
+  }
+}
+
+TEST(WorkloadTest, ReadOnlyFractionApproximatelyNinety) {
+  WorkloadGenerator gen(PaperParams());
+  sim::RandomStream rng(2);
+  int updates = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    Transaction t = gen.Generate(i + 1, 0, &rng);
+    if (t.is_update) ++updates;
+  }
+  // ~10% draw the update class; a few of those draw zero writes and are
+  // reclassified read-only, so the update share lands slightly under 0.10.
+  EXPECT_NEAR(updates / static_cast<double>(n), 0.10, 0.015);
+}
+
+TEST(WorkloadTest, WriteFractionWithinUpdates) {
+  WorkloadGenerator gen(PaperParams());
+  sim::RandomStream rng(3);
+  int64_t writes = 0;
+  int64_t ops = 0;
+  for (int i = 0; i < 20000; ++i) {
+    Transaction t = gen.Generate(i + 1, 0, &rng);
+    if (!t.is_update) continue;
+    ops += t.num_ops();
+    writes += static_cast<int64_t>(t.write_set.size());
+  }
+  EXPECT_NEAR(writes / static_cast<double>(ops), 0.30, 0.02);
+}
+
+TEST(WorkloadTest, ItemsDistinctWithinTransaction) {
+  WorkloadGenerator gen(PaperParams());
+  sim::RandomStream rng(4);
+  for (int i = 0; i < 2000; ++i) {
+    Transaction t = gen.Generate(i + 1, 2, &rng);
+    std::unordered_set<db::ItemId> seen;
+    for (const auto& op : t.ops) {
+      EXPECT_TRUE(seen.insert(op.item).second)
+          << "duplicate item " << op.item;
+    }
+  }
+}
+
+TEST(WorkloadTest, WritesRespectOwnership) {
+  WorkloadParams p = PaperParams();
+  WorkloadGenerator gen(p);
+  sim::RandomStream rng(5);
+  for (int i = 0; i < 3000; ++i) {
+    db::SiteId origin = static_cast<db::SiteId>(i % p.num_sites);
+    Transaction t = gen.Generate(i + 1, origin, &rng);
+    for (db::ItemId w : t.write_set) {
+      EXPECT_EQ(w / p.items_per_site, origin)
+          << "write outside the origin's primary partition";
+    }
+  }
+}
+
+TEST(WorkloadTest, RelaxedOwnershipWritesAnywhere) {
+  WorkloadParams p = PaperParams();
+  p.relaxed_ownership = true;
+  WorkloadGenerator gen(p);
+  sim::RandomStream rng(6);
+  bool saw_foreign_write = false;
+  for (int i = 0; i < 5000 && !saw_foreign_write; ++i) {
+    Transaction t = gen.Generate(i + 1, 0, &rng);
+    for (db::ItemId w : t.write_set) {
+      if (w / p.items_per_site != 0) saw_foreign_write = true;
+    }
+  }
+  EXPECT_TRUE(saw_foreign_write);
+}
+
+TEST(WorkloadTest, ReadsCoverWholeDatabase) {
+  WorkloadParams p = PaperParams(5);
+  WorkloadGenerator gen(p);
+  sim::RandomStream rng(7);
+  std::unordered_set<db::ItemId> read_items;
+  for (int i = 0; i < 5000; ++i) {
+    Transaction t = gen.Generate(i + 1, 0, &rng);
+    for (db::ItemId r : t.read_set) read_items.insert(r);
+  }
+  // With 100 items and 5k transactions, every item should be read.
+  EXPECT_EQ(read_items.size(), static_cast<size_t>(p.total_items()));
+}
+
+TEST(WorkloadTest, PartialReplicationReadsStayLocal) {
+  WorkloadParams p = PaperParams(10);
+  p.replication_degree = 3;
+  WorkloadGenerator gen(p);
+  sim::RandomStream rng(8);
+  for (int i = 0; i < 3000; ++i) {
+    db::SiteId origin = static_cast<db::SiteId>(i % p.num_sites);
+    Transaction t = gen.Generate(i + 1, origin, &rng);
+    for (db::ItemId r : t.read_set) {
+      int primary = r / p.items_per_site;
+      int offset = (origin - primary + p.num_sites) % p.num_sites;
+      EXPECT_LT(offset, p.replication_degree)
+          << "read of item " << r << " not replicated at site " << origin;
+    }
+  }
+}
+
+TEST(WorkloadTest, NoWritesMeansReadOnlyClassification) {
+  WorkloadGenerator gen(PaperParams());
+  sim::RandomStream rng(9);
+  for (int i = 0; i < 5000; ++i) {
+    Transaction t = gen.Generate(i + 1, 1, &rng);
+    EXPECT_EQ(t.is_update, !t.write_set.empty());
+  }
+}
+
+TEST(WorkloadTest, DeterministicForSameSeed) {
+  WorkloadGenerator gen(PaperParams());
+  sim::RandomStream a(11);
+  sim::RandomStream b(11);
+  for (int i = 0; i < 100; ++i) {
+    Transaction x = gen.Generate(i + 1, 2, &a);
+    Transaction y = gen.Generate(i + 1, 2, &b);
+    ASSERT_EQ(x.num_ops(), y.num_ops());
+    for (int k = 0; k < x.num_ops(); ++k) {
+      EXPECT_EQ(x.ops[k].item, y.ops[k].item);
+      EXPECT_EQ(x.ops[k].type, y.ops[k].type);
+    }
+  }
+}
+
+TEST(WorkloadTest, WritePoolExhaustionFallsBackToReads) {
+  // More write draws than the origin owns distinct items: the generator
+  // must not loop forever and must keep items distinct.
+  WorkloadParams p;
+  p.num_sites = 4;
+  p.items_per_site = 2;  // only two ownable items per site
+  p.read_only_fraction = 0.0;
+  p.write_op_fraction = 1.0;
+  p.min_ops = 6;
+  p.max_ops = 6;
+  WorkloadGenerator gen(p);
+  sim::RandomStream rng(12);
+  for (int i = 0; i < 200; ++i) {
+    Transaction t = gen.Generate(i + 1, 1, &rng);
+    EXPECT_LE(t.write_set.size(), 2u);
+    EXPECT_EQ(t.num_ops(), 6);
+    std::unordered_set<db::ItemId> seen;
+    for (const auto& op : t.ops) EXPECT_TRUE(seen.insert(op.item).second);
+  }
+}
+
+}  // namespace
+}  // namespace lazyrep::txn

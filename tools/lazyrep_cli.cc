@@ -1,0 +1,229 @@
+// lazyrep_cli — run one replication experiment from the command line.
+//
+// A downstream-user front-end over the library: every Table-1 parameter and
+// extension flag is reachable without writing C++. Prints the human-readable
+// metrics block and, with --csv, appends one machine-readable row (with a
+// header when the file is new) for scripting and plotting.
+//
+// Examples:
+//   lazyrep_cli --protocol=optimistic --preset=oc3 --tps=1800 --txns=20000
+//   lazyrep_cli --protocol=all --sites=12 --items=20 --latency=0.02 \
+//               --tps=400 --csv=sweep.csv
+//   lazyrep_cli --help
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <sys/stat.h>
+#include <vector>
+
+#include "core/config.h"
+#include "core/history.h"
+#include "core/system.h"
+
+using namespace lazyrep;
+
+namespace {
+
+void PrintHelp() {
+  std::printf(
+      "lazyrep_cli — run one lazy-replication experiment\n\n"
+      "protocol / scenario\n"
+      "  --protocol=locking|pessimistic|optimistic|all   (default optimistic)\n"
+      "  --preset=oc3|oc1|oc1star        start from a paper study config\n"
+      "workload & system (override preset)\n"
+      "  --sites=N --items=N             sites, primary items per site\n"
+      "  --tps=X                         offered global load\n"
+      "  --txns=N                        transactions to submit\n"
+      "  --read-fraction=F --write-fraction=F --ops=MIN,MAX\n"
+      "  --latency=SEC --bandwidth=BPS   network\n"
+      "  --timeout=SEC --seed=N\n"
+      "extensions\n"
+      "  --replication-degree=K --gatekeeper=N --two-version\n"
+      "  --relaxed-ownership --sequential-dispatch\n"
+      "output\n"
+      "  --csv=FILE                      append a machine-readable row\n"
+      "  --check-serializability         run the MVSG checker (slower)\n"
+      "  --quiet                         suppress the human-readable block\n");
+}
+
+bool FlagValue(const char* arg, const char* name, const char** value) {
+  size_t n = std::strlen(name);
+  if (std::strncmp(arg, name, n) == 0 && arg[n] == '=') {
+    *value = arg + n + 1;
+    return true;
+  }
+  return false;
+}
+
+void AppendCsv(const std::string& path, const char* protocol,
+               const core::SystemConfig& c, const core::MetricsSnapshot& m,
+               int serializable) {
+  struct stat st;
+  bool fresh = stat(path.c_str(), &st) != 0 || st.st_size == 0;
+  FILE* f = std::fopen(path.c_str(), "a");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot open %s\n", path.c_str());
+    std::exit(1);
+  }
+  if (fresh) {
+    std::fprintf(
+        f,
+        "protocol,sites,items,tps,txns,seed,completed_tps,abort_rate,"
+        "ro_mean,ro_ci95,ro_p95,upd_mean,upd_ci95,upd_p95,commit_complete,"
+        "graph_cpu,disk_mean,net_mean,lock_timeouts,graph_rejections,"
+        "serializable\n");
+  }
+  std::fprintf(f,
+               "%s,%d,%d,%.0f,%llu,%llu,%.3f,%.5f,%.6f,%.6f,%.6f,%.6f,%.6f,"
+               "%.6f,%.6f,%.4f,%.4f,%.4f,%llu,%llu,%d\n",
+               protocol, c.num_sites, c.total_items(), c.tps,
+               (unsigned long long)c.total_txns, (unsigned long long)c.seed,
+               m.completed_tps, m.abort_rate, m.read_only_response.Mean(),
+               m.read_only_response.HalfWidth95(),
+               m.read_only_quantiles.P95(), m.update_response.Mean(),
+               m.update_response.HalfWidth95(), m.update_quantiles.P95(),
+               m.commit_to_complete.Mean(), m.graph_cpu_utilization,
+               m.mean_disk_utilization, m.mean_network_utilization,
+               (unsigned long long)m.lock_timeouts,
+               (unsigned long long)m.graph_rejections, serializable);
+  std::fclose(f);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  core::SystemConfig config;
+  config.num_sites = 10;
+  config.tps = 200;
+  config.total_txns = 10000;
+  std::vector<core::ProtocolKind> protocols = {
+      core::ProtocolKind::kOptimistic};
+  std::string csv_path;
+  bool check_serializability = false;
+  bool quiet = false;
+
+  for (int i = 1; i < argc; ++i) {
+    const char* a = argv[i];
+    const char* v = nullptr;
+    if (std::strcmp(a, "--help") == 0 || std::strcmp(a, "-h") == 0) {
+      PrintHelp();
+      return 0;
+    } else if (FlagValue(a, "--protocol", &v)) {
+      protocols.clear();
+      if (std::strcmp(v, "locking") == 0) {
+        protocols.push_back(core::ProtocolKind::kLocking);
+      } else if (std::strcmp(v, "pessimistic") == 0) {
+        protocols.push_back(core::ProtocolKind::kPessimistic);
+      } else if (std::strcmp(v, "optimistic") == 0) {
+        protocols.push_back(core::ProtocolKind::kOptimistic);
+      } else if (std::strcmp(v, "all") == 0) {
+        protocols = {core::ProtocolKind::kLocking,
+                     core::ProtocolKind::kPessimistic,
+                     core::ProtocolKind::kOptimistic};
+      } else {
+        std::fprintf(stderr, "unknown protocol %s\n", v);
+        return 1;
+      }
+    } else if (FlagValue(a, "--preset", &v)) {
+      double tps = config.tps;
+      uint64_t txns = config.total_txns;
+      if (std::strcmp(v, "oc3") == 0) {
+        config = core::SystemConfig::Oc3();
+      } else if (std::strcmp(v, "oc1") == 0) {
+        config = core::SystemConfig::Oc1();
+      } else if (std::strcmp(v, "oc1star") == 0) {
+        config = core::SystemConfig::Oc1Star();
+      } else {
+        std::fprintf(stderr, "unknown preset %s\n", v);
+        return 1;
+      }
+      config.tps = tps;
+      config.total_txns = txns;
+    } else if (FlagValue(a, "--sites", &v)) {
+      config.num_sites = std::atoi(v);
+    } else if (FlagValue(a, "--items", &v)) {
+      config.workload.items_per_site = std::atoi(v);
+    } else if (FlagValue(a, "--tps", &v)) {
+      config.tps = std::atof(v);
+    } else if (FlagValue(a, "--txns", &v)) {
+      config.total_txns = std::strtoull(v, nullptr, 10);
+    } else if (FlagValue(a, "--read-fraction", &v)) {
+      config.workload.read_only_fraction = std::atof(v);
+    } else if (FlagValue(a, "--write-fraction", &v)) {
+      config.workload.write_op_fraction = std::atof(v);
+    } else if (FlagValue(a, "--ops", &v)) {
+      int lo = 0, hi = 0;
+      if (std::sscanf(v, "%d,%d", &lo, &hi) == 2) {
+        config.workload.min_ops = lo;
+        config.workload.max_ops = hi;
+      }
+    } else if (FlagValue(a, "--latency", &v)) {
+      config.network.latency = std::atof(v);
+    } else if (FlagValue(a, "--bandwidth", &v)) {
+      config.network.bandwidth_bps = std::atof(v);
+    } else if (FlagValue(a, "--timeout", &v)) {
+      config.timeout = std::atof(v);
+      config.graph.wait_timeout = config.timeout;
+    } else if (FlagValue(a, "--seed", &v)) {
+      config.seed = std::strtoull(v, nullptr, 10);
+    } else if (FlagValue(a, "--replication-degree", &v)) {
+      config.replication_degree = std::atoi(v);
+    } else if (FlagValue(a, "--gatekeeper", &v)) {
+      config.read_gatekeeper = std::atoi(v);
+    } else if (std::strcmp(a, "--two-version") == 0) {
+      config.two_version_reads = true;
+    } else if (std::strcmp(a, "--relaxed-ownership") == 0) {
+      config.workload.relaxed_ownership = true;
+    } else if (std::strcmp(a, "--sequential-dispatch") == 0) {
+      config.pipelined_dispatch = false;
+    } else if (FlagValue(a, "--csv", &v)) {
+      csv_path = v;
+    } else if (std::strcmp(a, "--check-serializability") == 0) {
+      check_serializability = true;
+    } else if (std::strcmp(a, "--quiet") == 0) {
+      quiet = true;
+    } else {
+      std::fprintf(stderr, "unknown flag %s (try --help)\n", a);
+      return 1;
+    }
+  }
+  config.Normalize();
+
+  for (core::ProtocolKind kind : protocols) {
+    core::System system(config, kind);
+    core::HistoryRecorder history;
+    if (check_serializability) system.set_history(&history);
+    core::MetricsSnapshot m = system.Run();
+    int serializable = -1;  // -1 = not checked
+    std::string why;
+    if (check_serializability) {
+      serializable = history.CheckOneCopySerializable(&why) ? 1 : 0;
+    }
+    if (!quiet) {
+      std::printf("=== %s | %d sites | %d items | %.0f TPS offered ===\n",
+                  core::ProtocolKindName(kind), config.num_sites,
+                  config.total_items(), config.tps);
+      std::printf("%s\n", m.ToString().c_str());
+      std::printf("ro p50/p95/p99: %.4f/%.4f/%.4f s   "
+                  "upd p50/p95/p99: %.4f/%.4f/%.4f s\n",
+                  m.read_only_quantiles.P50(), m.read_only_quantiles.P95(),
+                  m.read_only_quantiles.P99(), m.update_quantiles.P50(),
+                  m.update_quantiles.P95(), m.update_quantiles.P99());
+      if (serializable == 0) {
+        std::printf("SERIALIZABILITY VIOLATION: %s\n", why.c_str());
+      } else if (serializable == 1) {
+        std::printf("one-copy serializable: yes (%zu committed checked)\n",
+                    history.committed_count());
+      }
+      std::printf("\n");
+    }
+    if (!csv_path.empty()) {
+      AppendCsv(csv_path, core::ProtocolKindName(kind), config, m,
+                serializable);
+    }
+    if (serializable == 0) return 2;
+  }
+  return 0;
+}
