@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablate_dispatch.dir/ablations/bench_ablate_dispatch.cc.o"
+  "CMakeFiles/bench_ablate_dispatch.dir/ablations/bench_ablate_dispatch.cc.o.d"
+  "bench_ablate_dispatch"
+  "bench_ablate_dispatch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablate_dispatch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

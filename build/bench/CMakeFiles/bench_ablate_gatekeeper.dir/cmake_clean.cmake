@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablate_gatekeeper.dir/ablations/bench_ablate_gatekeeper.cc.o"
+  "CMakeFiles/bench_ablate_gatekeeper.dir/ablations/bench_ablate_gatekeeper.cc.o.d"
+  "bench_ablate_gatekeeper"
+  "bench_ablate_gatekeeper.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablate_gatekeeper.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablate_ownership.dir/ablations/bench_ablate_ownership.cc.o"
+  "CMakeFiles/bench_ablate_ownership.dir/ablations/bench_ablate_ownership.cc.o.d"
+  "bench_ablate_ownership"
+  "bench_ablate_ownership.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablate_ownership.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablate_queue_bound.dir/ablations/bench_ablate_queue_bound.cc.o"
+  "CMakeFiles/bench_ablate_queue_bound.dir/ablations/bench_ablate_queue_bound.cc.o.d"
+  "bench_ablate_queue_bound"
+  "bench_ablate_queue_bound.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablate_queue_bound.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

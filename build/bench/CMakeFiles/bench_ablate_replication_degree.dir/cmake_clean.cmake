@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablate_replication_degree.dir/ablations/bench_ablate_replication_degree.cc.o"
+  "CMakeFiles/bench_ablate_replication_degree.dir/ablations/bench_ablate_replication_degree.cc.o.d"
+  "bench_ablate_replication_degree"
+  "bench_ablate_replication_degree.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablate_replication_degree.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablate_timeout.dir/ablations/bench_ablate_timeout.cc.o"
+  "CMakeFiles/bench_ablate_timeout.dir/ablations/bench_ablate_timeout.cc.o.d"
+  "bench_ablate_timeout"
+  "bench_ablate_timeout.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablate_timeout.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablate_two_version.dir/ablations/bench_ablate_two_version.cc.o"
+  "CMakeFiles/bench_ablate_two_version.dir/ablations/bench_ablate_two_version.cc.o.d"
+  "bench_ablate_two_version"
+  "bench_ablate_two_version.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablate_two_version.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

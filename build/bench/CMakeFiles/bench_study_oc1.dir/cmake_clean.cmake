@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_study_oc1.dir/paper/bench_study_oc1.cc.o"
+  "CMakeFiles/bench_study_oc1.dir/paper/bench_study_oc1.cc.o.d"
+  "bench_study_oc1"
+  "bench_study_oc1.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_study_oc1.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_study_oc1star.dir/paper/bench_study_oc1star.cc.o"
+  "CMakeFiles/bench_study_oc1star.dir/paper/bench_study_oc1star.cc.o.d"
+  "bench_study_oc1star"
+  "bench_study_oc1star.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_study_oc1star.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

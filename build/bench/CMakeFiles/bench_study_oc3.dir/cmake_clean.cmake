@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_study_oc3.dir/paper/bench_study_oc3.cc.o"
+  "CMakeFiles/bench_study_oc3.dir/paper/bench_study_oc3.cc.o.d"
+  "bench_study_oc3"
+  "bench_study_oc3.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_study_oc3.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_study_vsn.dir/paper/bench_study_vsn.cc.o"
+  "CMakeFiles/bench_study_vsn.dir/paper/bench_study_vsn.cc.o.d"
+  "bench_study_vsn"
+  "bench_study_vsn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_study_vsn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

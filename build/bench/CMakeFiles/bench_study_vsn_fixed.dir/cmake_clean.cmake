@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_study_vsn_fixed.dir/paper/bench_study_vsn_fixed.cc.o"
+  "CMakeFiles/bench_study_vsn_fixed.dir/paper/bench_study_vsn_fixed.cc.o.d"
+  "bench_study_vsn_fixed"
+  "bench_study_vsn_fixed.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_study_vsn_fixed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../lib/liblazyrep_bench_figures.a"
+  "../lib/liblazyrep_bench_figures.pdb"
+  "CMakeFiles/lazyrep_bench_figures.dir/paper/figures.cc.o"
+  "CMakeFiles/lazyrep_bench_figures.dir/paper/figures.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lazyrep_bench_figures.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

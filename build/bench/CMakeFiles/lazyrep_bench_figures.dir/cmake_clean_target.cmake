@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "../lib/liblazyrep_bench_figures.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_rg.dir/micro/micro_rg.cc.o"
+  "CMakeFiles/micro_rg.dir/micro/micro_rg.cc.o.d"
+  "micro_rg"
+  "micro_rg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_rg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

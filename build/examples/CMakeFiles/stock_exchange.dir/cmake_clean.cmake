@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stock_exchange.dir/stock_exchange.cpp.o"
+  "CMakeFiles/stock_exchange.dir/stock_exchange.cpp.o.d"
+  "stock_exchange"
+  "stock_exchange.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stock_exchange.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

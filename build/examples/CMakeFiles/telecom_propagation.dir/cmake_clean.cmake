@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/telecom_propagation.dir/telecom_propagation.cpp.o"
+  "CMakeFiles/telecom_propagation.dir/telecom_propagation.cpp.o.d"
+  "telecom_propagation"
+  "telecom_propagation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/telecom_propagation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

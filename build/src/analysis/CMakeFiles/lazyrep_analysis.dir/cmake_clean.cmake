@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lazyrep_analysis.dir/contention_model.cc.o"
+  "CMakeFiles/lazyrep_analysis.dir/contention_model.cc.o.d"
+  "liblazyrep_analysis.a"
+  "liblazyrep_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lazyrep_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

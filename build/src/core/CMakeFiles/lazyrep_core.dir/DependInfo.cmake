@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/protocols/locking_protocol.cc" "src/core/CMakeFiles/lazyrep_core.dir/__/protocols/locking_protocol.cc.o" "gcc" "src/core/CMakeFiles/lazyrep_core.dir/__/protocols/locking_protocol.cc.o.d"
+  "/root/repo/src/protocols/optimistic_protocol.cc" "src/core/CMakeFiles/lazyrep_core.dir/__/protocols/optimistic_protocol.cc.o" "gcc" "src/core/CMakeFiles/lazyrep_core.dir/__/protocols/optimistic_protocol.cc.o.d"
+  "/root/repo/src/protocols/pessimistic_protocol.cc" "src/core/CMakeFiles/lazyrep_core.dir/__/protocols/pessimistic_protocol.cc.o" "gcc" "src/core/CMakeFiles/lazyrep_core.dir/__/protocols/pessimistic_protocol.cc.o.d"
+  "/root/repo/src/core/config.cc" "src/core/CMakeFiles/lazyrep_core.dir/config.cc.o" "gcc" "src/core/CMakeFiles/lazyrep_core.dir/config.cc.o.d"
+  "/root/repo/src/core/history.cc" "src/core/CMakeFiles/lazyrep_core.dir/history.cc.o" "gcc" "src/core/CMakeFiles/lazyrep_core.dir/history.cc.o.d"
+  "/root/repo/src/core/metrics.cc" "src/core/CMakeFiles/lazyrep_core.dir/metrics.cc.o" "gcc" "src/core/CMakeFiles/lazyrep_core.dir/metrics.cc.o.d"
+  "/root/repo/src/core/study.cc" "src/core/CMakeFiles/lazyrep_core.dir/study.cc.o" "gcc" "src/core/CMakeFiles/lazyrep_core.dir/study.cc.o.d"
+  "/root/repo/src/core/system.cc" "src/core/CMakeFiles/lazyrep_core.dir/system.cc.o" "gcc" "src/core/CMakeFiles/lazyrep_core.dir/system.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/lazyrep_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/lazyrep_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/db/CMakeFiles/lazyrep_db.dir/DependInfo.cmake"
+  "/root/repo/build/src/txn/CMakeFiles/lazyrep_txn.dir/DependInfo.cmake"
+  "/root/repo/build/src/rg/CMakeFiles/lazyrep_rg.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lazyrep_core.dir/__/protocols/locking_protocol.cc.o"
+  "CMakeFiles/lazyrep_core.dir/__/protocols/locking_protocol.cc.o.d"
+  "CMakeFiles/lazyrep_core.dir/__/protocols/optimistic_protocol.cc.o"
+  "CMakeFiles/lazyrep_core.dir/__/protocols/optimistic_protocol.cc.o.d"
+  "CMakeFiles/lazyrep_core.dir/__/protocols/pessimistic_protocol.cc.o"
+  "CMakeFiles/lazyrep_core.dir/__/protocols/pessimistic_protocol.cc.o.d"
+  "CMakeFiles/lazyrep_core.dir/config.cc.o"
+  "CMakeFiles/lazyrep_core.dir/config.cc.o.d"
+  "CMakeFiles/lazyrep_core.dir/history.cc.o"
+  "CMakeFiles/lazyrep_core.dir/history.cc.o.d"
+  "CMakeFiles/lazyrep_core.dir/metrics.cc.o"
+  "CMakeFiles/lazyrep_core.dir/metrics.cc.o.d"
+  "CMakeFiles/lazyrep_core.dir/study.cc.o"
+  "CMakeFiles/lazyrep_core.dir/study.cc.o.d"
+  "CMakeFiles/lazyrep_core.dir/system.cc.o"
+  "CMakeFiles/lazyrep_core.dir/system.cc.o.d"
+  "liblazyrep_core.a"
+  "liblazyrep_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lazyrep_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

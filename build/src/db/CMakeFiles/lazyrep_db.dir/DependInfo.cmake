@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/db/completion_tracker.cc" "src/db/CMakeFiles/lazyrep_db.dir/completion_tracker.cc.o" "gcc" "src/db/CMakeFiles/lazyrep_db.dir/completion_tracker.cc.o.d"
+  "/root/repo/src/db/item_store.cc" "src/db/CMakeFiles/lazyrep_db.dir/item_store.cc.o" "gcc" "src/db/CMakeFiles/lazyrep_db.dir/item_store.cc.o.d"
+  "/root/repo/src/db/lock_manager.cc" "src/db/CMakeFiles/lazyrep_db.dir/lock_manager.cc.o" "gcc" "src/db/CMakeFiles/lazyrep_db.dir/lock_manager.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/lazyrep_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

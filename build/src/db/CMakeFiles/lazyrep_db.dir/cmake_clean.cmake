@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lazyrep_db.dir/completion_tracker.cc.o"
+  "CMakeFiles/lazyrep_db.dir/completion_tracker.cc.o.d"
+  "CMakeFiles/lazyrep_db.dir/item_store.cc.o"
+  "CMakeFiles/lazyrep_db.dir/item_store.cc.o.d"
+  "CMakeFiles/lazyrep_db.dir/lock_manager.cc.o"
+  "CMakeFiles/lazyrep_db.dir/lock_manager.cc.o.d"
+  "liblazyrep_db.a"
+  "liblazyrep_db.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lazyrep_db.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

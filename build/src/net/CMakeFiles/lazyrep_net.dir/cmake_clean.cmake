@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lazyrep_net.dir/star_network.cc.o"
+  "CMakeFiles/lazyrep_net.dir/star_network.cc.o.d"
+  "liblazyrep_net.a"
+  "liblazyrep_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lazyrep_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "liblazyrep_net.a"
+)

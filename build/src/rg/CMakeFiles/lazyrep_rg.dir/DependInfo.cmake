@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/rg/graph_site.cc" "src/rg/CMakeFiles/lazyrep_rg.dir/graph_site.cc.o" "gcc" "src/rg/CMakeFiles/lazyrep_rg.dir/graph_site.cc.o.d"
+  "/root/repo/src/rg/replication_graph.cc" "src/rg/CMakeFiles/lazyrep_rg.dir/replication_graph.cc.o" "gcc" "src/rg/CMakeFiles/lazyrep_rg.dir/replication_graph.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/lazyrep_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/db/CMakeFiles/lazyrep_db.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

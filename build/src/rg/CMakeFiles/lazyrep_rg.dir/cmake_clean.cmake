@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lazyrep_rg.dir/graph_site.cc.o"
+  "CMakeFiles/lazyrep_rg.dir/graph_site.cc.o.d"
+  "CMakeFiles/lazyrep_rg.dir/replication_graph.cc.o"
+  "CMakeFiles/lazyrep_rg.dir/replication_graph.cc.o.d"
+  "liblazyrep_rg.a"
+  "liblazyrep_rg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lazyrep_rg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for lazyrep_rg.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lazyrep_sim.dir/batch_stats.cc.o"
+  "CMakeFiles/lazyrep_sim.dir/batch_stats.cc.o.d"
+  "CMakeFiles/lazyrep_sim.dir/condition.cc.o"
+  "CMakeFiles/lazyrep_sim.dir/condition.cc.o.d"
+  "CMakeFiles/lazyrep_sim.dir/event_queue.cc.o"
+  "CMakeFiles/lazyrep_sim.dir/event_queue.cc.o.d"
+  "CMakeFiles/lazyrep_sim.dir/facility.cc.o"
+  "CMakeFiles/lazyrep_sim.dir/facility.cc.o.d"
+  "CMakeFiles/lazyrep_sim.dir/random.cc.o"
+  "CMakeFiles/lazyrep_sim.dir/random.cc.o.d"
+  "CMakeFiles/lazyrep_sim.dir/simulation.cc.o"
+  "CMakeFiles/lazyrep_sim.dir/simulation.cc.o.d"
+  "CMakeFiles/lazyrep_sim.dir/stats.cc.o"
+  "CMakeFiles/lazyrep_sim.dir/stats.cc.o.d"
+  "liblazyrep_sim.a"
+  "liblazyrep_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lazyrep_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lazyrep_txn.dir/transaction.cc.o"
+  "CMakeFiles/lazyrep_txn.dir/transaction.cc.o.d"
+  "CMakeFiles/lazyrep_txn.dir/workload.cc.o"
+  "CMakeFiles/lazyrep_txn.dir/workload.cc.o.d"
+  "liblazyrep_txn.a"
+  "liblazyrep_txn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lazyrep_txn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

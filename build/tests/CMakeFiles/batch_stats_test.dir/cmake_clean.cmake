@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/batch_stats_test.dir/batch_stats_test.cc.o"
+  "CMakeFiles/batch_stats_test.dir/batch_stats_test.cc.o.d"
+  "batch_stats_test"
+  "batch_stats_test.pdb"
+  "batch_stats_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/batch_stats_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/graph_site_stress_test.dir/graph_site_stress_test.cc.o"
+  "CMakeFiles/graph_site_stress_test.dir/graph_site_stress_test.cc.o.d"
+  "graph_site_stress_test"
+  "graph_site_stress_test.pdb"
+  "graph_site_stress_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/graph_site_stress_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lazyrep_cli.dir/lazyrep_cli.cc.o"
+  "CMakeFiles/lazyrep_cli.dir/lazyrep_cli.cc.o.d"
+  "lazyrep_cli"
+  "lazyrep_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lazyrep_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
