@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <string>
 
+#include "fault/fault_params.h"
 #include "hw/disk.h"
 #include "net/star_network.h"
 #include "rg/graph_site.h"
@@ -43,6 +44,12 @@ struct SystemConfig {
   net::NetworkParams network;
   hw::DiskParams disk;
   rg::GraphSiteParams graph;
+
+  /// Fault injection (message loss/duplication, site crashes) and the
+  /// reliable-messaging retry policy. All knobs default to zero/off: with
+  /// fault.enabled() false the injector and ack layer are never constructed
+  /// and every run is bit-identical to a build without them.
+  fault::FaultParams fault;
 
   // -- implementation cost constants (not published in the paper) -------------
   /// CPU instructions to process one database operation at a site.

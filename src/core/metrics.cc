@@ -5,6 +5,7 @@
 namespace lazyrep::core {
 
 std::string MetricsSnapshot::ToString() const {
+  std::string out;
   char buf[1536];
   std::snprintf(
       buf, sizeof(buf),
@@ -34,7 +35,34 @@ std::string MetricsSnapshot::ToString() const {
       (unsigned long long)graph_cycle_aborts,
       (unsigned long long)writes_ignored_twr,
       (unsigned long long)in_flight_at_end);
-  return buf;
+  out = buf;
+
+  // Fault lines appear only when fault injection was active, so runs on a
+  // perfect network print exactly what they always printed.
+  if (retransmissions || msg_send_failures || faults_injected_loss ||
+      faults_injected_dup || site_crashes) {
+    std::snprintf(buf, sizeof(buf),
+                  "\nfaults: lost %llu dup %llu crashes %llu | retransmits "
+                  "%llu send-failures %llu | availability site %.4f/%.4f "
+                  "graph %.4f",
+                  (unsigned long long)faults_injected_loss,
+                  (unsigned long long)faults_injected_dup,
+                  (unsigned long long)site_crashes,
+                  (unsigned long long)retransmissions,
+                  (unsigned long long)msg_send_failures,
+                  mean_site_availability, min_site_availability,
+                  graph_availability);
+    out += buf;
+    out += "\naborts-by-cause:";
+    for (size_t i = 1; i < txn::kAbortCauseCount; ++i) {
+      if (aborted_by_cause[i] == 0) continue;
+      std::snprintf(buf, sizeof(buf), " %s %llu",
+                    txn::AbortCauseName(static_cast<txn::AbortCause>(i)),
+                    (unsigned long long)aborted_by_cause[i]);
+      out += buf;
+    }
+  }
+  return out;
 }
 
 }  // namespace lazyrep::core

@@ -1,6 +1,7 @@
 #ifndef LAZYREP_CORE_METRICS_H_
 #define LAZYREP_CORE_METRICS_H_
 
+#include <array>
 #include <cstdint>
 #include <string>
 
@@ -63,6 +64,27 @@ struct MetricsSnapshot {
   /// Transactions neither terminal nor measured when the run ended.
   uint64_t in_flight_at_end = 0;
 
+  // -- fault injection (all zero on a perfect network) -----------------------
+
+  /// Aborts broken down by txn::AbortCause (indexed by the enum value).
+  std::array<uint64_t, txn::kAbortCauseCount> aborted_by_cause{};
+  /// Control-message retransmissions by the reliable-messaging layer.
+  uint64_t retransmissions = 0;
+  /// Reliable sends abandoned after exhausting the retry budget.
+  uint64_t msg_send_failures = 0;
+  /// Delivery legs dropped by the fault injector (loss or crashed endpoint).
+  uint64_t faults_injected_loss = 0;
+  /// Redundant message copies injected by the fault injector.
+  uint64_t faults_injected_dup = 0;
+  /// Site crash events (scripted and MTBF-driven), graph site included.
+  uint64_t site_crashes = 0;
+  /// Fraction of the measurement window each DB site was up, averaged.
+  double mean_site_availability = 1.0;
+  /// Worst per-DB-site availability.
+  double min_site_availability = 1.0;
+  /// Availability of the graph site endpoint (1 for locking).
+  double graph_availability = 1.0;
+
   std::string ToString() const;
 };
 
@@ -96,6 +118,7 @@ class Metrics {
   void OnAbort(const txn::Transaction& t) {
     if (!t.measured) return;
     ++snap_.aborted;
+    ++snap_.aborted_by_cause[static_cast<size_t>(t.abort_cause)];
     if (t.is_update) {
       ++snap_.aborted_update;
     } else {

@@ -43,6 +43,25 @@ System::System(const SystemConfig& config, ProtocolKind kind)
   tracker_.set_deferred_cascade(kind_ == ProtocolKind::kLocking);
   tracker_.set_on_completed([this](db::TxnId id) { OnTrackerCompleted(id); });
 
+  if (config_.fault.enabled()) {
+    // Dedicated stream: the injector's draws never perturb the workload or
+    // disk streams, so fault-free structure is preserved point for point.
+    injector_ = std::make_unique<fault::FaultInjector>(
+        &sim_, config_.num_sites + 1, config_.fault,
+        config_.seed * 7919 + 13);
+    network_->set_fault_hook([this](db::SiteId src, db::SiteId dst) {
+      return injector_->OnDelivery(src, dst);
+    });
+    channel_ = std::make_unique<fault::ReliableChannel>(
+        &sim_, network_.get(), config_.fault, config_.ctrl_msg_bytes);
+    channel_->set_charge([this](db::SiteId e) -> sim::Task<void> {
+      if (e != graph_endpoint()) {
+        co_await site(e).cpu.Execute(config_.message_instr);
+      }
+    });
+    downtime_at_window_.assign(config_.num_sites + 1, 0.0);
+  }
+
   switch (kind_) {
     case ProtocolKind::kLocking:
       protocol_ = std::make_unique<proto::LockingProtocol>(this);
@@ -107,10 +126,11 @@ void System::NoteCommitted(txn::Transaction* t,
   }
 }
 
-void System::NoteAborted(txn::Transaction* t) {
+void System::NoteAborted(txn::Transaction* t, txn::AbortCause cause) {
   if (t->state == txn::TxnState::kAborted) return;
   LAZYREP_CHECK(t->state == txn::TxnState::kActive);
   t->state = txn::TxnState::kAborted;
+  t->abort_cause = cause;
   t->terminal_time = sim_.Now();
   ++terminal_;
   metrics_.OnAbort(*t);
@@ -176,6 +196,44 @@ sim::Task<void> System::SendCtrl(db::SiteId from, db::SiteId to) {
   if (to != graph_endpoint()) {
     co_await site(to).cpu.Execute(config_.message_instr);
   }
+}
+
+sim::Task<bool> System::SendCtrlReliable(db::SiteId from, db::SiteId to) {
+  if (channel_ == nullptr) {
+    co_await SendCtrl(from, to);
+    co_return true;
+  }
+  if (from != graph_endpoint()) {
+    co_await site(from).cpu.Execute(config_.message_instr);
+  }
+  bool ok = co_await channel_->Send(from, to, config_.ctrl_msg_bytes,
+                                    config_.fault.max_retries);
+  if (ok && to != graph_endpoint()) {
+    co_await site(to).cpu.Execute(config_.message_instr);
+  }
+  co_return ok;
+}
+
+sim::Task<void> System::SendCtrlAssured(db::SiteId from, db::SiteId to) {
+  if (channel_ == nullptr) {
+    co_await SendCtrl(from, to);
+    co_return;
+  }
+  if (from != graph_endpoint()) {
+    co_await site(from).cpu.Execute(config_.message_instr);
+  }
+  co_await channel_->Send(from, to, config_.ctrl_msg_bytes,
+                          fault::kRetryForever);
+  if (to != graph_endpoint()) {
+    co_await site(to).cpu.Execute(config_.message_instr);
+  }
+}
+
+sim::Task<void> System::SendPayloadAssured(db::SiteId from, db::SiteId to,
+                                           size_t bytes) {
+  LAZYREP_CHECK(channel_ != nullptr);  // fault-mode-only path
+  co_await site(from).cpu.Execute(config_.message_instr);
+  co_await channel_->Send(from, to, bytes, fault::kRetryForever);
 }
 
 void System::DeliverEdges(const ConflictEdges& edges) {
@@ -282,6 +340,16 @@ void System::Submit(db::SiteId s, sim::RandomStream* rng) {
   protocol_->OnRegister(ptr);
   metrics_.OnSubmit(*ptr);
 
+  if (injector_ && !injector_->IsUp(s)) {
+    // The origination site is down: the client's request never reaches a
+    // server, so the transaction fails immediately as unavailable. Balance
+    // the gate slot NoteAborted's GateRelease will return.
+    if (config_.read_gatekeeper > 0 && !ptr->is_update) ++gate_running_[s];
+    NoteAborted(ptr, txn::AbortCause::kUnavailable);
+    if (submitted_ >= config_.total_txns) done_ = true;
+    return;
+  }
+
   bool gated = config_.read_gatekeeper > 0 && !ptr->is_update;
   if (gated) {
     sim_.Spawn(GatedExecute(ptr));
@@ -308,6 +376,13 @@ void System::ResetAllStats() {
   }
   network_->ResetStats();
   if (graph_cpu_) graph_cpu_->ResetStats();
+  if (injector_) {
+    injector_->ResetStats();
+    for (int e = 0; e <= config_.num_sites; ++e) {
+      downtime_at_window_[e] = injector_->Downtime(e);
+    }
+  }
+  if (channel_) channel_->ResetStats();
 }
 
 void System::Freeze(MetricsSnapshot* snap) {
@@ -350,9 +425,32 @@ void System::Freeze(MetricsSnapshot* snap) {
     snap->graph_cycle_aborts = graph_site_->cycle_aborts();
   }
   snap->in_flight_at_end = submitted_ - terminal_;
+  if (injector_) {
+    snap->faults_injected_loss = injector_->messages_dropped();
+    snap->faults_injected_dup = injector_->messages_duplicated();
+    snap->site_crashes = injector_->crashes();
+    double avail_sum = 0, avail_min = 1.0;
+    for (int e = 0; e < config_.num_sites; ++e) {
+      double down = injector_->Downtime(e) - downtime_at_window_[e];
+      double avail = 1.0 - std::min(1.0, std::max(0.0, down) / snap->duration);
+      avail_sum += avail;
+      avail_min = std::min(avail_min, avail);
+    }
+    snap->mean_site_availability = avail_sum / config_.num_sites;
+    snap->min_site_availability = avail_min;
+    double gdown = injector_->Downtime(config_.num_sites) -
+                   downtime_at_window_[config_.num_sites];
+    snap->graph_availability =
+        1.0 - std::min(1.0, std::max(0.0, gdown) / snap->duration);
+  }
+  if (channel_) {
+    snap->retransmissions = channel_->retransmissions();
+    snap->msg_send_failures = channel_->send_failures();
+  }
 }
 
 MetricsSnapshot System::Run() {
+  if (injector_) injector_->Start();
   sim::RandomStream seeder(config_.seed);
   for (int s = 0; s < config_.num_sites; ++s) {
     sim_.Spawn(GeneratorProcess(static_cast<db::SiteId>(s), seeder.Fork()));
@@ -363,6 +461,9 @@ MetricsSnapshot System::Run() {
   }
   MetricsSnapshot snap = metrics_.snapshot();
   Freeze(&snap);
+  // Cease fault activity before draining: pending retransmissions must be
+  // able to land so every waiter resolves before the System is torn down.
+  if (injector_) injector_->Stop();
   // Drain in-flight work (uncounted — the snapshot is frozen) so coroutine
   // frames and waiters resolve before the System is torn down. A generous
   // horizon guards against pathological non-termination.

@@ -13,6 +13,8 @@
 #include "db/completion_tracker.h"
 #include "db/lock_manager.h"
 #include "db/item_store.h"
+#include "fault/fault_injector.h"
+#include "fault/reliable_channel.h"
 #include "hw/cpu.h"
 #include "hw/disk.h"
 #include "net/star_network.h"
@@ -109,8 +111,8 @@ class System {
   void NoteCommitted(txn::Transaction* t, sim::SimTime response_reference = -1);
 
   /// Marks `t` aborted (state, metrics, tracker) and drops its reader
-  /// registrations at the origin. Idempotent.
-  void NoteAborted(txn::Transaction* t);
+  /// registrations at the origin. Idempotent; the first call's `cause` wins.
+  void NoteAborted(txn::Transaction* t, txn::AbortCause cause);
 
   /// One-shot fired when the tracker completes the transaction (used by the
   /// locking protocol to hold read locks until completion).
@@ -122,6 +124,30 @@ class System {
   /// Endpoints equal to graph_endpoint() skip the CPU charge there — the
   /// GraphSite accounts for its own message handling.
   sim::Task<void> SendCtrl(db::SiteId from, db::SiteId to);
+
+  // -- fault-aware messaging (identical to SendCtrl when faults are off) ------
+
+  /// True when fault injection is active for this run.
+  bool fault_enabled() const { return injector_ != nullptr; }
+  /// Null unless fault injection is active.
+  fault::FaultInjector* injector() { return injector_.get(); }
+  fault::ReliableChannel* channel() { return channel_.get(); }
+
+  /// Control message with ack + capped retransmission. Resolves true once the
+  /// message (and its ack) got through; false when the retry budget ran out —
+  /// the caller must abort the transaction with AbortCause::kUnavailable.
+  /// Degenerates to plain SendCtrl / true on a perfect network.
+  sim::Task<bool> SendCtrlReliable(db::SiteId from, db::SiteId to);
+
+  /// Control message retried without bound (post-commit / cleanup traffic:
+  /// commit, abort and completion notices, installer acks, remote lock
+  /// releases). Resolves only on delivery.
+  sim::Task<void> SendCtrlAssured(db::SiteId from, db::SiteId to);
+
+  /// Bulk payload (update propagation) retried without bound. Charges send
+  /// CPU here; the receiver's handling cost is the installer's business.
+  sim::Task<void> SendPayloadAssured(db::SiteId from, db::SiteId to,
+                                     size_t bytes);
 
   /// Conflict edges (dependent, predecessor) discovered at a site, delivered
   /// to the completion tracker when the carrying message arrives.
@@ -187,6 +213,11 @@ class System {
   std::unique_ptr<rg::GraphSite> graph_site_;
   db::CompletionTracker tracker_;
   Metrics metrics_;
+  /// Both null unless config_.fault.enabled().
+  std::unique_ptr<fault::FaultInjector> injector_;
+  std::unique_ptr<fault::ReliableChannel> channel_;
+  /// Per-endpoint downtime at measurement-window start (availability base).
+  std::vector<double> downtime_at_window_;
   std::unique_ptr<proto::Protocol> protocol_;
   std::unordered_map<db::TxnId, std::unique_ptr<txn::Transaction>> txns_;
   std::unordered_map<db::TxnId, std::unique_ptr<sim::OneShot>>

@@ -1,0 +1,109 @@
+#include "fault/fault_injector.h"
+
+#include "sim/check.h"
+
+namespace lazyrep::fault {
+
+FaultInjector::FaultInjector(sim::Simulation* sim, int num_endpoints,
+                             const FaultParams& params, uint64_t seed)
+    : sim_(sim),
+      params_(params),
+      rng_(seed),
+      up_(num_endpoints, true),
+      incoming_(num_endpoints,
+                EndpointFaults{params.loss_prob, params.dup_prob}),
+      downtime_(num_endpoints, 0),
+      down_since_(num_endpoints, 0),
+      pending_(num_endpoints) {
+  LAZYREP_CHECK(num_endpoints >= 1);
+  for (const LinkFault& lf : params_.link_faults) {
+    LAZYREP_CHECK(lf.endpoint >= 0 && lf.endpoint < num_endpoints);
+    incoming_[lf.endpoint] = EndpointFaults{lf.loss_prob, lf.dup_prob};
+  }
+}
+
+FaultInjector::~FaultInjector() { Stop(); }
+
+void FaultInjector::Start() {
+  for (const ScheduledCrash& c : params_.crashes) {
+    LAZYREP_CHECK(c.endpoint >= 0 && c.endpoint < num_endpoints());
+    int e = c.endpoint;
+    pending_.push_back(
+        sim_->ScheduleCallbackAt(c.at, [this, e] { Crash(e); }));
+    pending_.push_back(sim_->ScheduleCallbackAt(c.at + c.duration,
+                                                [this, e] { Recover(e); }));
+  }
+  if (params_.site_mtbf > 0) {
+    // The graph site is the last endpoint; it crashes only when asked for.
+    int crashable = num_endpoints() - (params_.crash_graph_site ? 0 : 1);
+    for (int e = 0; e < crashable; ++e) {
+      ScheduleMtbfTransition(e);
+    }
+  }
+}
+
+void FaultInjector::ScheduleMtbfTransition(int endpoint) {
+  double mean = up_[endpoint] ? params_.site_mtbf : params_.site_mttr;
+  double at = sim_->Now() + rng_.Exponential(mean);
+  pending_[endpoint] = sim_->ScheduleCallbackAt(at, [this, endpoint] {
+    if (up_[endpoint]) {
+      Crash(endpoint);
+    } else {
+      Recover(endpoint);
+    }
+    ScheduleMtbfTransition(endpoint);
+  });
+}
+
+void FaultInjector::Stop() {
+  if (stopped_) return;
+  stopped_ = true;
+  for (sim::EventId id : pending_) sim_->Cancel(id);
+  pending_.clear();
+  for (int e = 0; e < num_endpoints(); ++e) Recover(e);
+}
+
+void FaultInjector::Crash(int endpoint) {
+  if (!up_[endpoint]) return;
+  up_[endpoint] = false;
+  down_since_[endpoint] = sim_->Now();
+  ++crashes_;
+}
+
+void FaultInjector::Recover(int endpoint) {
+  if (up_[endpoint]) return;
+  up_[endpoint] = true;
+  downtime_[endpoint] += sim_->Now() - down_since_[endpoint];
+}
+
+double FaultInjector::Downtime(int endpoint) const {
+  double dt = downtime_[endpoint];
+  if (!up_[endpoint]) dt += sim_->Now() - down_since_[endpoint];
+  return dt;
+}
+
+int FaultInjector::OnDelivery(db::SiteId src, db::SiteId dst) {
+  if (stopped_) return 1;  // post-measurement drain: deliver everything
+  if (!up_[src] || !up_[dst]) {
+    ++dropped_;
+    return 0;
+  }
+  const EndpointFaults& f = incoming_[dst];
+  if (f.loss_prob > 0 && rng_.Chance(f.loss_prob)) {
+    ++dropped_;
+    return 0;
+  }
+  if (f.dup_prob > 0 && rng_.Chance(f.dup_prob)) {
+    ++duplicated_;
+    return 2;
+  }
+  return 1;
+}
+
+void FaultInjector::ResetStats() {
+  dropped_ = 0;
+  duplicated_ = 0;
+  crashes_ = 0;
+}
+
+}  // namespace lazyrep::fault

@@ -1,0 +1,98 @@
+#ifndef LAZYREP_FAULT_FAULT_INJECTOR_H_
+#define LAZYREP_FAULT_FAULT_INJECTOR_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "db/types.h"
+#include "fault/fault_params.h"
+#include "sim/event_queue.h"
+#include "sim/random.h"
+#include "sim/simulation.h"
+
+namespace lazyrep::fault {
+
+/// Deterministic, seed-driven fault scheduler. All fault decisions — per-leg
+/// message loss/duplication draws and site crash/recovery instants — come
+/// from one private random stream advanced in simulated-event order, so a
+/// run with the same SystemConfig (seed included) replays the exact same
+/// fault schedule.
+///
+/// Crash semantics are fail-silent at the network level: a down endpoint
+/// neither receives nor emits messages (every delivery leg touching it is
+/// dropped), while its local state survives the outage — as if recovered
+/// from a log on restart. Protocol reactions (timeouts, retransmissions,
+/// unavailability aborts) are driven entirely by the missing messages.
+class FaultInjector {
+ public:
+  /// `num_endpoints` counts the star-network endpoints (sites + graph site).
+  FaultInjector(sim::Simulation* sim, int num_endpoints,
+                const FaultParams& params, uint64_t seed);
+  FaultInjector(const FaultInjector&) = delete;
+  FaultInjector& operator=(const FaultInjector&) = delete;
+  ~FaultInjector();
+
+  /// Schedules the crash plan (MTBF rotation + scripted outages). Call once,
+  /// before the simulation starts stepping.
+  void Start();
+
+  /// Ceases all fault activity: cancels pending crash/recovery transitions,
+  /// revives every endpoint and stops dropping messages. Called after the
+  /// measurement window freezes so the post-run drain converges.
+  void Stop();
+
+  /// StarNetwork delivery hook. Returns the number of copies that arrive on
+  /// `dst`'s incoming link: 0 = dropped (loss, or an endpoint is down),
+  /// 1 = normal, 2 = duplicated (payload delivered once, see FaultParams).
+  int OnDelivery(db::SiteId src, db::SiteId dst);
+
+  /// True while `endpoint` is reachable.
+  bool IsUp(int endpoint) const { return up_[endpoint]; }
+
+  /// Manual crash/recovery (tests). Idempotent.
+  void Crash(int endpoint);
+  void Recover(int endpoint);
+
+  /// Cumulative downtime of `endpoint` since construction, including the
+  /// currently open outage window (up to Now).
+  double Downtime(int endpoint) const;
+
+  int num_endpoints() const { return static_cast<int>(up_.size()); }
+
+  // -- statistics (ResetStats clears counters, not downtime) -----------------
+
+  uint64_t messages_dropped() const { return dropped_; }
+  uint64_t messages_duplicated() const { return duplicated_; }
+  uint64_t crashes() const { return crashes_; }
+  void ResetStats();
+
+ private:
+  struct EndpointFaults {
+    double loss_prob;
+    double dup_prob;
+  };
+
+  /// Schedules the next MTBF transition (crash if up, recovery if down).
+  void ScheduleMtbfTransition(int endpoint);
+
+  sim::Simulation* sim_;
+  FaultParams params_;
+  sim::RandomStream rng_;
+  std::vector<bool> up_;
+  /// Resolved per-endpoint incoming-link probabilities (global + overrides).
+  std::vector<EndpointFaults> incoming_;
+  /// Accumulated closed-outage downtime + open-outage start per endpoint.
+  std::vector<double> downtime_;
+  std::vector<double> down_since_;
+  /// Pending transition events, cancellable on Stop().
+  std::vector<sim::EventId> pending_;
+  bool stopped_ = false;
+
+  uint64_t dropped_ = 0;
+  uint64_t duplicated_ = 0;
+  uint64_t crashes_ = 0;
+};
+
+}  // namespace lazyrep::fault
+
+#endif  // LAZYREP_FAULT_FAULT_INJECTOR_H_

@@ -1,0 +1,75 @@
+#ifndef LAZYREP_FAULT_FAULT_PARAMS_H_
+#define LAZYREP_FAULT_FAULT_PARAMS_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace lazyrep::fault {
+
+/// A deterministic one-shot outage: `endpoint` is unreachable during
+/// [at, at + duration). Endpoint indices follow the star network: database
+/// sites are 0..num_sites-1 and the graph site is endpoint num_sites.
+struct ScheduledCrash {
+  int endpoint = 0;
+  double at = 0;
+  double duration = 0;
+};
+
+/// Per-link fault override: applies to deliveries INTO `endpoint` (its
+/// incoming star link), replacing the global loss/duplication probabilities.
+struct LinkFault {
+  int endpoint = 0;
+  double loss_prob = 0;
+  double dup_prob = 0;
+};
+
+/// Fault-injection knobs. All default to zero / empty: with the defaults the
+/// injector is never constructed and every simulated run is bit-identical to
+/// the fault-free model.
+struct FaultParams {
+  // -- message faults ---------------------------------------------------------
+  /// Probability that one delivery leg (point-to-point transfer or one
+  /// multicast leg) is dropped at the switch.
+  double loss_prob = 0;
+  /// Probability that a delivered leg is duplicated. The duplicate occupies
+  /// the receiver's incoming link (bandwidth + dedup cost) but the payload is
+  /// handed to the protocol once — receivers filter duplicates by sequence
+  /// number in the reliable-messaging layer.
+  double dup_prob = 0;
+  /// Per-incoming-link overrides of the two probabilities above.
+  std::vector<LinkFault> link_faults;
+
+  // -- site crash / recovery --------------------------------------------------
+  /// Mean time between failures per database site, seconds (exponential).
+  /// 0 disables MTBF-driven crashes.
+  double site_mtbf = 0;
+  /// Mean outage duration, seconds (exponential). Used with site_mtbf.
+  double site_mttr = 1.0;
+  /// Include the dedicated graph site in the MTBF crash rotation.
+  bool crash_graph_site = false;
+  /// Deterministic scripted outages (tests, targeted experiments).
+  std::vector<ScheduledCrash> crashes;
+
+  // -- reliable-messaging retry policy ---------------------------------------
+  /// Retransmissions allowed for pre-commit control traffic before the
+  /// sender gives up and the transaction aborts as unavailable. Post-commit
+  /// traffic (replica propagation, completion notices, cleanup) retries
+  /// without bound — it is idempotent and must eventually be delivered.
+  int max_retries = 5;
+  /// Initial retransmission timeout, seconds; doubles per retry (capped).
+  double rto_initial = 0.05;
+  double rto_backoff = 2.0;
+  double rto_max = 1.0;
+
+  /// True when any fault mechanism is active. Gates the whole subsystem:
+  /// when false, the network hook is not installed and all protocols use
+  /// the original (ack-free) message paths.
+  bool enabled() const {
+    return loss_prob > 0 || dup_prob > 0 || !link_faults.empty() ||
+           site_mtbf > 0 || !crashes.empty();
+  }
+};
+
+}  // namespace lazyrep::fault
+
+#endif  // LAZYREP_FAULT_FAULT_PARAMS_H_

@@ -22,20 +22,40 @@ StarNetwork::StarNetwork(sim::Simulation* sim, int num_sites,
   }
 }
 
-sim::Task<void> StarNetwork::Transfer(db::SiteId src, db::SiteId dst,
+int StarNetwork::FateOf(db::SiteId src, db::SiteId dst) {
+  if (!fault_hook_) return 1;
+  int copies = fault_hook_(src, dst);
+  if (copies == 0) {
+    ++messages_dropped_;
+  } else if (copies > 1) {
+    copies_duplicated_ += copies - 1;
+  }
+  return copies;
+}
+
+sim::Task<bool> StarNetwork::Transfer(db::SiteId src, db::SiteId dst,
                                       size_t bytes) {
   double tx = TransmitTime(bytes);
   co_await outgoing_[src]->Use(tx);
   co_await sim_->Delay(params_.latency);
-  co_await incoming_[dst]->Use(tx);
+  int copies = FateOf(src, dst);
+  if (copies == 0) co_return false;  // lost at the switch
+  for (int i = 0; i < copies; ++i) {
+    co_await incoming_[dst]->Use(tx);
+  }
   ++messages_delivered_;
+  co_return true;
 }
 
 sim::Process StarNetwork::DeliverLeg(
-    db::SiteId dst, size_t bytes,
+    db::SiteId src, db::SiteId dst, size_t bytes,
     std::function<void(db::SiteId)> on_delivered) {
   co_await sim_->Delay(params_.latency);
-  co_await incoming_[dst]->Use(TransmitTime(bytes));
+  int copies = FateOf(src, dst);
+  if (copies == 0) co_return;
+  for (int i = 0; i < copies; ++i) {
+    co_await incoming_[dst]->Use(TransmitTime(bytes));
+  }
   ++messages_delivered_;
   if (on_delivered) on_delivered(dst);
 }
@@ -47,7 +67,7 @@ sim::Task<void> StarNetwork::Multicast(
   // message exactly once, then each recipient's incoming link is used.
   co_await outgoing_[src]->Use(TransmitTime(bytes));
   for (db::SiteId dst : dsts) {
-    sim_->Spawn(DeliverLeg(dst, bytes, on_delivered));
+    sim_->Spawn(DeliverLeg(src, dst, bytes, on_delivered));
   }
 }
 
@@ -69,6 +89,8 @@ void StarNetwork::ResetStats() {
   for (auto& f : outgoing_) f->ResetStats();
   for (auto& f : incoming_) f->ResetStats();
   messages_delivered_ = 0;
+  messages_dropped_ = 0;
+  copies_duplicated_ = 0;
 }
 
 }  // namespace lazyrep::net

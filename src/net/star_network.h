@@ -30,10 +30,22 @@ struct NetworkParams {
 /// message; every recipient's incoming link is used on reception (§3).
 class StarNetwork {
  public:
+  /// Faulty-delivery hook, consulted at the switch for every delivery leg.
+  /// Returns how many copies reach `dst`'s incoming link: 0 = the leg is
+  /// dropped (message loss or a crashed endpoint), 1 = normal delivery,
+  /// n > 1 = duplication — each copy occupies the incoming link, but the
+  /// payload is handed to the receiver once (duplicates are deduped by the
+  /// reliable-messaging layer). Unset = perfect network.
+  using FaultHook = std::function<int(db::SiteId src, db::SiteId dst)>;
+
   StarNetwork(sim::Simulation* sim, int num_sites, const NetworkParams& params);
 
-  /// Point-to-point transfer of `bytes`; completes at delivery time.
-  sim::Task<void> Transfer(db::SiteId src, db::SiteId dst, size_t bytes);
+  void set_fault_hook(FaultHook hook) { fault_hook_ = std::move(hook); }
+
+  /// Point-to-point transfer of `bytes`; completes at delivery time (or, for
+  /// a dropped leg, when the loss occurs at the switch). Returns true when
+  /// the message reached `dst`.
+  sim::Task<bool> Transfer(db::SiteId src, db::SiteId dst, size_t bytes);
 
   /// Multicast `bytes` from `src` to every site in `dsts`. `on_delivered`
   /// runs (in simulated time) as each recipient finishes receiving. Returns
@@ -57,20 +69,32 @@ class StarNetwork {
   /// Total messages delivered (multicast counts one per recipient).
   uint64_t messages_delivered() const { return messages_delivered_; }
 
+  /// Delivery legs dropped by the fault hook.
+  uint64_t messages_dropped() const { return messages_dropped_; }
+
+  /// Redundant copies injected by the fault hook (beyond the first).
+  uint64_t copies_duplicated() const { return copies_duplicated_; }
+
   void ResetStats();
 
   int num_sites() const { return static_cast<int>(incoming_.size()); }
   const NetworkParams& params() const { return params_; }
 
  private:
-  sim::Process DeliverLeg(db::SiteId dst, size_t bytes,
+  sim::Process DeliverLeg(db::SiteId src, db::SiteId dst, size_t bytes,
                           std::function<void(db::SiteId)> on_delivered);
+
+  /// Copies arriving for one delivery leg (1 when no hook is installed).
+  int FateOf(db::SiteId src, db::SiteId dst);
 
   sim::Simulation* sim_;
   NetworkParams params_;
+  FaultHook fault_hook_;
   std::vector<std::unique_ptr<sim::Facility>> outgoing_;
   std::vector<std::unique_ptr<sim::Facility>> incoming_;
   uint64_t messages_delivered_ = 0;
+  uint64_t messages_dropped_ = 0;
+  uint64_t copies_duplicated_ = 0;
 };
 
 }  // namespace lazyrep::net

@@ -43,17 +43,26 @@ sim::Process LockingProtocol::FetchLock(txn::Transaction* t, int index,
       }
     } else {
       // Relay the read-lock request to the primary site (§2.2).
-      co_await sys_->SendCtrl(origin, primary);
-      status = co_await sys_->site(primary).locks.Acquire(
-          t->id, op.item, LockMode::kShared, sys_->config().timeout);
-      if (status == WaitStatus::kSignaled) {
-        if (st->aborted) {
-          // The transaction died while we were acquiring: give it back.
-          sys_->site(primary).locks.Release(t->id, op.item);
-          status = WaitStatus::kCancelled;
-        } else {
-          st->granted_remote_reads.emplace_back(primary, op.item);
-          co_await sys_->SendCtrl(primary, origin);
+      if (!co_await sys_->SendCtrlReliable(origin, primary)) {
+        st->fail_cause = txn::AbortCause::kUnavailable;
+        status = WaitStatus::kCancelled;
+      } else {
+        status = co_await sys_->site(primary).locks.Acquire(
+            t->id, op.item, LockMode::kShared, sys_->config().timeout);
+        if (status == WaitStatus::kSignaled) {
+          if (st->aborted) {
+            // The transaction died while we were acquiring: give it back.
+            sys_->site(primary).locks.Release(t->id, op.item);
+            status = WaitStatus::kCancelled;
+          } else {
+            // Record the grant before the reply leg: if the grant message
+            // never arrives, ReleaseRemoteReads still knows to clean it up.
+            st->granted_remote_reads.emplace_back(primary, op.item);
+            if (!co_await sys_->SendCtrlReliable(primary, origin)) {
+              st->fail_cause = txn::AbortCause::kUnavailable;
+              status = WaitStatus::kCancelled;
+            }
+          }
         }
       }
     }
@@ -64,7 +73,8 @@ sim::Process LockingProtocol::FetchLock(txn::Transaction* t, int index,
                               : WaitStatus::kCancelled);
 }
 
-void LockingProtocol::AbortNow(txn::Transaction* t, StatePtr st) {
+void LockingProtocol::AbortNow(txn::Transaction* t, StatePtr st,
+                               txn::AbortCause cause) {
   st->aborted = true;
   sys_->site(t->origin).locks.ReleaseAll(t->id);
   if (!st->granted_remote_reads.empty()) {
@@ -72,17 +82,18 @@ void LockingProtocol::AbortNow(txn::Transaction* t, StatePtr st) {
         ReleaseRemoteReads(t->id, std::move(st->granted_remote_reads)));
     st->granted_remote_reads.clear();
   }
-  sys_->NoteAborted(t);
+  sys_->NoteAborted(t, cause);
 }
 
 sim::Process LockingProtocol::ReleaseRemoteReads(
     db::TxnId id, std::vector<std::pair<db::SiteId, db::ItemId>> granted) {
   // Group per site would batch messages; individual releases are rare enough
-  // (abort path only) that one control message per lock is acceptable.
+  // (abort path only) that one control message per lock is acceptable. The
+  // release must eventually arrive or the lock is stuck: retry forever.
   for (const auto& [primary, item] : granted) {
     txn::Transaction* t = sys_->FindTxn(id);
     LAZYREP_CHECK(t != nullptr);
-    co_await sys_->SendCtrl(t->origin, primary);
+    co_await sys_->SendCtrlAssured(t->origin, primary);
     sys_->site(primary).locks.Release(id, item);
   }
 }
@@ -123,10 +134,18 @@ sim::Process LockingProtocol::Installer(txn::Transaction* t, db::SiteId dst,
   co_await site.disk.ForceLog(cfg.log_bytes);
   for (db::ItemId h : held) site.locks.Release(t->id, h);
 
-  // Ack to the origin, carrying this site's conflict predecessors.
-  co_await sys_->SendCtrl(dst, t->origin);
+  // Ack to the origin, carrying this site's conflict predecessors. The
+  // origin blocks on the ack countdown, so the ack must get through.
+  co_await sys_->SendCtrlAssured(dst, t->origin);
   sys_->DeliverEdges(edges);
   acks->Arrive();
+}
+
+sim::Process LockingProtocol::PropagateAndInstall(txn::Transaction* t,
+                                                  db::SiteId dst, size_t bytes,
+                                                  sim::Countdown* acks) {
+  co_await sys_->SendPayloadAssured(t->origin, dst, bytes);
+  sys_->sim().Spawn(Installer(t, dst, acks));
 }
 
 sim::Process LockingProtocol::Execute(txn::Transaction* t) {
@@ -159,7 +178,7 @@ sim::Process LockingProtocol::Execute(txn::Transaction* t) {
     }
     co_await st->grants[i]->Wait();
     if (st->statuses[i] != WaitStatus::kSignaled) {
-      AbortNow(t, st);
+      AbortNow(t, st, st->fail_cause);
       co_return;
     }
     const db::Operation& op = t->ops[i];
@@ -170,7 +189,7 @@ sim::Process LockingProtocol::Execute(txn::Transaction* t) {
       WaitStatus ls = co_await origin.locks.Acquire(
           t->id, op.item, LockMode::kShared, cfg.timeout);
       if (ls != WaitStatus::kSignaled) {
-        AbortNow(t, st);
+        AbortNow(t, st, txn::AbortCause::kLockTimeout);
         co_return;
       }
     }
@@ -192,7 +211,7 @@ sim::Process LockingProtocol::Execute(txn::Transaction* t) {
   // graph, multi-writer read anomalies remain possible — the reason the
   // paper expects multiversioning to favor the graph protocols.
   if (lock_free_reads && sys_->HasTornReads(read_versions)) {
-    AbortNow(t, st);
+    AbortNow(t, st, txn::AbortCause::kTornRead);
     co_return;
   }
 
@@ -201,7 +220,7 @@ sim::Process LockingProtocol::Execute(txn::Transaction* t) {
   // writer cannot serialize anywhere (its timestamp is too old): abort.
   if (t->is_update) {
     if (sys_->HasStaleWriteVsTerminal(*t)) {
-      AbortNow(t, st);
+      AbortNow(t, st, txn::AbortCause::kStaleWrite);
       co_return;
     }
     // Apply under the held update locks; conflict edges deliver instantly
@@ -220,11 +239,19 @@ sim::Process LockingProtocol::Execute(txn::Transaction* t) {
       sim::Countdown acks(&sys_->sim(), static_cast<int>(targets.size()));
       size_t bytes = cfg.propagation_overhead_bytes +
                      t->write_set.size() * cfg.item_bytes;
-      co_await origin.cpu.Execute(cfg.message_instr);
-      co_await sys_->network().Multicast(
-          t->origin, targets, bytes, [this, t, &acks](db::SiteId dst) {
-            sys_->sim().Spawn(Installer(t, dst, &acks));
-          });
+      if (sys_->fault_enabled()) {
+        // Per-target reliable delivery (every leg must eventually install,
+        // or the ack countdown would never resolve).
+        for (db::SiteId dst : targets) {
+          sys_->sim().Spawn(PropagateAndInstall(t, dst, bytes, &acks));
+        }
+      } else {
+        co_await origin.cpu.Execute(cfg.message_instr);
+        co_await sys_->network().Multicast(
+            t->origin, targets, bytes, [this, t, &acks](db::SiteId dst) {
+              sys_->sim().Spawn(Installer(t, dst, &acks));
+            });
+      }
       co_await acks.Wait();
     }
     // All replicas updated: the primary-copy update locks may fall (§2.2).
@@ -250,6 +277,15 @@ void LockingProtocol::OnCompleted(txn::Transaction* t) {
   sys_->sim().Spawn(BroadcastCompletion(t->id, t->origin));
 }
 
+sim::Process LockingProtocol::CompleteAtSite(db::TxnId id, db::SiteId origin,
+                                             db::SiteId dst) {
+  // Reliable point-to-point completion notice: a lost leg would strand the
+  // transaction's relayed read locks and its dependents' fixpoints forever.
+  co_await sys_->SendCtrlAssured(origin, dst);
+  sys_->site(dst).locks.ReleaseAll(id);
+  sys_->tracker().NotifyCompletionAtSite(id, dst);
+}
+
 sim::Process LockingProtocol::BroadcastCompletion(db::TxnId id,
                                                   db::SiteId origin) {
   const core::SystemConfig& cfg = sys_->config();
@@ -257,6 +293,12 @@ sim::Process LockingProtocol::BroadcastCompletion(db::TxnId id,
   others.reserve(cfg.num_sites - 1);
   for (int s = 0; s < cfg.num_sites; ++s) {
     if (s != origin) others.push_back(static_cast<db::SiteId>(s));
+  }
+  if (sys_->fault_enabled()) {
+    for (db::SiteId dst : others) {
+      sys_->sim().Spawn(CompleteAtSite(id, origin, dst));
+    }
+    co_return;
   }
   co_await sys_->site(origin).cpu.Execute(cfg.message_instr);
   co_await sys_->network().Multicast(

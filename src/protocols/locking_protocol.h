@@ -43,6 +43,9 @@ class LockingProtocol : public Protocol {
     /// Conflict edges discovered at the origination site.
     core::System::ConflictEdges edges;
     bool aborted = false;
+    /// Why a failed grant failed (kUnavailable when a lock-relay message
+    /// exhausted its retry budget; lock timeout otherwise).
+    txn::AbortCause fail_cause = txn::AbortCause::kLockTimeout;
   };
   using StatePtr = std::shared_ptr<ExecState>;
 
@@ -54,8 +57,15 @@ class LockingProtocol : public Protocol {
   sim::Process Installer(txn::Transaction* t, db::SiteId dst,
                          sim::Countdown* acks);
 
+  /// Fault-mode propagation: reliable per-target payload, then Installer.
+  sim::Process PropagateAndInstall(txn::Transaction* t, db::SiteId dst,
+                                   size_t bytes, sim::Countdown* acks);
+
+  /// Fault-mode completion notice to one site (replaces a multicast leg).
+  sim::Process CompleteAtSite(db::TxnId id, db::SiteId origin, db::SiteId dst);
+
   /// Abort path: release everything, notify the tracker and metrics.
-  void AbortNow(txn::Transaction* t, StatePtr st);
+  void AbortNow(txn::Transaction* t, StatePtr st, txn::AbortCause cause);
 
   /// Sends asynchronous read-lock releases for remotely held locks.
   sim::Process ReleaseRemoteReads(db::TxnId id,

@@ -52,10 +52,17 @@ sim::Process OptimisticProtocol::Installer(txn::Transaction* t,
   co_await site.disk.ForceLog(cfg.log_bytes);
   for (db::ItemId h : held) site.locks.Release(t->id, h);
 
-  co_await sys_->SendCtrl(dst, sys_->graph_endpoint());
+  co_await sys_->SendCtrlAssured(dst, sys_->graph_endpoint());
   co_await sys_->graph_site()->ChargeMessages(1);
   sys_->DeliverEdges(edges);
   sys_->tracker().OnSubtxnCommitted(t->id);
+}
+
+sim::Process OptimisticProtocol::PropagateAndInstall(txn::Transaction* t,
+                                                     db::SiteId dst,
+                                                     size_t bytes) {
+  co_await sys_->SendPayloadAssured(t->origin, dst, bytes);
+  sys_->sim().Spawn(Installer(t, dst));
 }
 
 sim::Process OptimisticProtocol::Execute(txn::Transaction* t) {
@@ -78,7 +85,7 @@ sim::Process OptimisticProtocol::Execute(txn::Transaction* t) {
     if (ls != WaitStatus::kSignaled) {
       // Local deadlock timeout: abort. The graph site was never contacted.
       origin.locks.ReleaseAll(t->id);
-      sys_->NoteAborted(t);
+      sys_->NoteAborted(t, txn::AbortCause::kLockTimeout);
       co_return;
     }
     co_await sys_->ExecuteOpCost(t->origin);
@@ -98,7 +105,7 @@ sim::Process OptimisticProtocol::Execute(txn::Transaction* t) {
   // forsaken read locks used to provide).
   if (lock_free_reads && sys_->HasTornReads(read_versions)) {
     origin.locks.ReleaseAll(t->id);
-    sys_->NoteAborted(t);
+    sys_->NoteAborted(t, txn::AbortCause::kTornRead);
     co_return;
   }
 
@@ -107,14 +114,36 @@ sim::Process OptimisticProtocol::Execute(txn::Transaction* t) {
   sim::SimTime local_ready = sys_->sim().Now();
 
   // Phase 2: the only graph-site coordination — RGtest at commit (step 4).
-  co_await sys_->SendCtrl(t->origin, sys_->graph_endpoint());
-  rg::Verdict v = co_await sys_->graph_site()->TestCommit(
-      t->id, t->origin, t->is_update, t->ops);
-  co_await sys_->SendCtrl(sys_->graph_endpoint(), t->origin);
+  rg::Verdict v;
+  if (!co_await sys_->SendCtrlReliable(t->origin, sys_->graph_endpoint())) {
+    v = rg::Verdict::kUnavailable;  // request never reached the graph site
+  } else {
+    v = co_await sys_->graph_site()->TestCommit(t->id, t->origin, t->is_update,
+                                                t->ops);
+    if (!co_await sys_->SendCtrlReliable(sys_->graph_endpoint(), t->origin)) {
+      v = rg::Verdict::kUnavailable;  // verdict reply lost: must abort
+    }
+  }
 
   if (v != rg::Verdict::kOk) {
     origin.locks.ReleaseAll(t->id);
-    sys_->NoteAborted(t);
+    txn::AbortCause cause =
+        v == rg::Verdict::kUnavailable ? txn::AbortCause::kUnavailable
+        : v == rg::Verdict::kRejected  ? txn::AbortCause::kGraphRejected
+                                       : txn::AbortCause::kGraphAbort;
+    sys_->NoteAborted(t, cause);
+    if (v == rg::Verdict::kUnavailable) {
+      // The graph site may still carry the transaction (a lost reply after
+      // an OK verdict): make sure it is removed once reachable again.
+      struct Remover {
+        static sim::Process Run(core::System* sys, db::SiteId origin,
+                                db::TxnId id) {
+          co_await sys->SendCtrlAssured(origin, sys->graph_endpoint());
+          co_await sys->graph_site()->HandleRemove(id);
+        }
+      };
+      sys_->sim().Spawn(Remover::Run(sys_, t->origin, t->id));
+    }
     co_return;
   }
 
@@ -123,11 +152,11 @@ sim::Process OptimisticProtocol::Execute(txn::Transaction* t) {
   // ("timestamp too old") and tell the graph site to drop us.
   if (t->is_update && sys_->HasStaleWriteVsTerminal(*t)) {
     origin.locks.ReleaseAll(t->id);
-    sys_->NoteAborted(t);
+    sys_->NoteAborted(t, txn::AbortCause::kStaleWrite);
     struct Remover {
       static sim::Process Run(core::System* sys, db::TxnId id) {
-        co_await sys->SendCtrl(sys->FindTxn(id)->origin,
-                               sys->graph_endpoint());
+        co_await sys->SendCtrlAssured(sys->FindTxn(id)->origin,
+                                      sys->graph_endpoint());
         co_await sys->graph_site()->HandleRemove(id);
       }
     };
@@ -170,11 +199,17 @@ sim::Process OptimisticProtocol::Execute(txn::Transaction* t) {
     if (!targets.empty()) {
       size_t bytes = cfg.propagation_overhead_bytes +
                      t->write_set.size() * cfg.item_bytes;
-      co_await origin.cpu.Execute(cfg.message_instr);
-      co_await sys_->network().Multicast(
-          t->origin, targets, bytes, [this, t](db::SiteId dst) {
-            sys_->sim().Spawn(Installer(t, dst));
-          });
+      if (sys_->fault_enabled()) {
+        for (db::SiteId dst : targets) {
+          sys_->sim().Spawn(PropagateAndInstall(t, dst, bytes));
+        }
+      } else {
+        co_await origin.cpu.Execute(cfg.message_instr);
+        co_await sys_->network().Multicast(
+            t->origin, targets, bytes, [this, t](db::SiteId dst) {
+              sys_->sim().Spawn(Installer(t, dst));
+            });
+      }
     }
   }
 }
@@ -190,7 +225,7 @@ void OptimisticProtocol::OnCompleted(txn::Transaction* t) {
 }
 
 sim::Process OptimisticProtocol::CompletionNotice(db::SiteId origin) {
-  co_await sys_->SendCtrl(sys_->graph_endpoint(), origin);
+  co_await sys_->SendCtrlAssured(sys_->graph_endpoint(), origin);
 }
 
 }  // namespace lazyrep::proto

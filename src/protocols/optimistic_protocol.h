@@ -29,6 +29,9 @@ class OptimisticProtocol : public Protocol {
 
  private:
   sim::Process Installer(txn::Transaction* t, db::SiteId dst);
+  /// Fault-mode propagation: reliable per-target payload, then Installer.
+  sim::Process PropagateAndInstall(txn::Transaction* t, db::SiteId dst,
+                                   size_t bytes);
   sim::Process CompletionNotice(db::SiteId origin);
 };
 

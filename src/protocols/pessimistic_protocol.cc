@@ -22,20 +22,27 @@ void PessimisticProtocol::OnRegister(txn::Transaction* t) {
 
 sim::Process PessimisticProtocol::OpTester(txn::Transaction* t, int index,
                                            StatePtr st) {
-  co_await sys_->SendCtrl(t->origin, sys_->graph_endpoint());
+  if (!co_await sys_->SendCtrlReliable(t->origin, sys_->graph_endpoint())) {
+    st->verdicts[index] = rg::Verdict::kUnavailable;
+    st->slots[index]->Fire(WaitStatus::kCancelled);
+    co_return;
+  }
   rg::Verdict v = co_await sys_->graph_site()->TestOperation(
       t->id, t->origin, t->is_update, t->ops[index]);
-  co_await sys_->SendCtrl(sys_->graph_endpoint(), t->origin);
+  if (!co_await sys_->SendCtrlReliable(sys_->graph_endpoint(), t->origin)) {
+    v = rg::Verdict::kUnavailable;  // verdict reply never reached the origin
+  }
   st->verdicts[index] = v;
   st->slots[index]->Fire(v == rg::Verdict::kOk ? WaitStatus::kSignaled
                                                : WaitStatus::kCancelled);
 }
 
 void PessimisticProtocol::AbortLocal(txn::Transaction* t, StatePtr st,
-                                     bool notify_graph) {
+                                     bool notify_graph,
+                                     txn::AbortCause cause) {
   st->aborted = true;
   sys_->site(t->origin).locks.ReleaseAll(t->id);
-  sys_->NoteAborted(t);
+  sys_->NoteAborted(t, cause);
   if (notify_graph) {
     sys_->sim().Spawn(AbortNotice(t->id, t->origin));
   }
@@ -43,13 +50,13 @@ void PessimisticProtocol::AbortLocal(txn::Transaction* t, StatePtr st,
 
 sim::Process PessimisticProtocol::AbortNotice(db::TxnId id,
                                               db::SiteId origin) {
-  co_await sys_->SendCtrl(origin, sys_->graph_endpoint());
+  co_await sys_->SendCtrlAssured(origin, sys_->graph_endpoint());
   co_await sys_->graph_site()->HandleRemove(id);
 }
 
 sim::Process PessimisticProtocol::CommitNotice(txn::Transaction* t,
                                                StatePtr st) {
-  co_await sys_->SendCtrl(t->origin, sys_->graph_endpoint());
+  co_await sys_->SendCtrlAssured(t->origin, sys_->graph_endpoint());
   co_await sys_->graph_site()->HandleCommitted(t->id);
   sys_->DeliverEdges(st->edges);
   sys_->tracker().OnSubtxnCommitted(t->id);
@@ -90,10 +97,17 @@ sim::Process PessimisticProtocol::Installer(txn::Transaction* t,
 
   // Ack to the graph site: carries this site's conflict predecessors and the
   // subtransaction commit.
-  co_await sys_->SendCtrl(dst, sys_->graph_endpoint());
+  co_await sys_->SendCtrlAssured(dst, sys_->graph_endpoint());
   co_await sys_->graph_site()->ChargeMessages(1);
   sys_->DeliverEdges(edges);
   sys_->tracker().OnSubtxnCommitted(t->id);
+}
+
+sim::Process PessimisticProtocol::PropagateAndInstall(txn::Transaction* t,
+                                                      db::SiteId dst,
+                                                      size_t bytes) {
+  co_await sys_->SendPayloadAssured(t->origin, dst, bytes);
+  sys_->sim().Spawn(Installer(t, dst));
 }
 
 sim::Process PessimisticProtocol::Execute(txn::Transaction* t) {
@@ -116,9 +130,16 @@ sim::Process PessimisticProtocol::Execute(txn::Transaction* t) {
     if (!cfg.pipelined_dispatch) sys_->sim().Spawn(OpTester(t, i, st));
     co_await st->slots[i]->Wait();
     if (st->verdicts[i] != rg::Verdict::kOk) {
-      // The graph site already removed us (cycle abort / rejection / wait
-      // timeout): only local cleanup remains.
-      AbortLocal(t, st, /*notify_graph=*/false);
+      // kUnavailable: the graph site may still carry us (the request or its
+      // reply was lost), so send an assured remove. Every other verdict
+      // means the graph site already removed us: local cleanup only.
+      bool unavailable = st->verdicts[i] == rg::Verdict::kUnavailable;
+      txn::AbortCause cause =
+          unavailable ? txn::AbortCause::kUnavailable
+          : st->verdicts[i] == rg::Verdict::kRejected
+              ? txn::AbortCause::kGraphRejected
+              : txn::AbortCause::kGraphAbort;
+      AbortLocal(t, st, /*notify_graph=*/unavailable, cause);
       co_return;
     }
     const db::Operation& op = t->ops[i];
@@ -129,7 +150,7 @@ sim::Process PessimisticProtocol::Execute(txn::Transaction* t) {
                         : co_await origin.locks.Acquire(t->id, op.item, mode,
                                                         cfg.timeout);
     if (ls != WaitStatus::kSignaled) {
-      AbortLocal(t, st, /*notify_graph=*/true);
+      AbortLocal(t, st, /*notify_graph=*/true, txn::AbortCause::kLockTimeout);
       co_return;
     }
     co_await sys_->ExecuteOpCost(t->origin);
@@ -147,7 +168,7 @@ sim::Process PessimisticProtocol::Execute(txn::Transaction* t) {
 
   // Two-version read validation (§4.3 exploration): abort on torn reads.
   if (lock_free_reads && sys_->HasTornReads(read_versions)) {
-    AbortLocal(t, st, /*notify_graph=*/true);
+    AbortLocal(t, st, /*notify_graph=*/true, txn::AbortCause::kTornRead);
     co_return;
   }
 
@@ -156,7 +177,7 @@ sim::Process PessimisticProtocol::Execute(txn::Transaction* t) {
   // writer cannot serialize anywhere: abort ("timestamp too old").
   if (t->is_update) {
     if (sys_->HasStaleWriteVsTerminal(*t)) {
-      AbortLocal(t, st, /*notify_graph=*/true);
+      AbortLocal(t, st, /*notify_graph=*/true, txn::AbortCause::kStaleWrite);
       co_return;
     }
     // Conflict edges from the origin apply deliver instantly: every party
@@ -179,11 +200,20 @@ sim::Process PessimisticProtocol::Execute(txn::Transaction* t) {
     if (!targets.empty()) {
       size_t bytes = cfg.propagation_overhead_bytes +
                      t->write_set.size() * cfg.item_bytes;
-      co_await origin.cpu.Execute(cfg.message_instr);
-      co_await sys_->network().Multicast(
-          t->origin, targets, bytes, [this, t](db::SiteId dst) {
-            sys_->sim().Spawn(Installer(t, dst));
-          });
+      if (sys_->fault_enabled()) {
+        // Per-target reliable delivery: a lost multicast leg must be
+        // retransmitted point-to-point anyway, so fault mode sends each
+        // target its own assured payload.
+        for (db::SiteId dst : targets) {
+          sys_->sim().Spawn(PropagateAndInstall(t, dst, bytes));
+        }
+      } else {
+        co_await origin.cpu.Execute(cfg.message_instr);
+        co_await sys_->network().Multicast(
+            t->origin, targets, bytes, [this, t](db::SiteId dst) {
+              sys_->sim().Spawn(Installer(t, dst));
+            });
+      }
     }
   }
   // Completion is detected at the graph site (tracker); nothing to hold here.
@@ -202,7 +232,7 @@ void PessimisticProtocol::OnCompleted(txn::Transaction* t) {
 }
 
 sim::Process PessimisticProtocol::CompletionNotice(db::SiteId origin) {
-  co_await sys_->SendCtrl(sys_->graph_endpoint(), origin);
+  co_await sys_->SendCtrlAssured(sys_->graph_endpoint(), origin);
 }
 
 }  // namespace lazyrep::proto

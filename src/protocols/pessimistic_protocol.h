@@ -54,11 +54,17 @@ class PessimisticProtocol : public Protocol {
   /// Remote replica installation; acks to the graph site.
   sim::Process Installer(txn::Transaction* t, db::SiteId dst);
 
+  /// Fault-mode propagation: one reliably-delivered payload per target,
+  /// installer spawned on delivery (replaces the shared multicast path).
+  sim::Process PropagateAndInstall(txn::Transaction* t, db::SiteId dst,
+                                   size_t bytes);
+
   /// Notifies the origination site that the transaction completed (metrics
   /// and bookkeeping ride on the tracker; this models the message cost).
   sim::Process CompletionNotice(db::SiteId origin);
 
-  void AbortLocal(txn::Transaction* t, StatePtr st, bool notify_graph);
+  void AbortLocal(txn::Transaction* t, StatePtr st, bool notify_graph,
+                  txn::AbortCause cause);
 };
 
 }  // namespace lazyrep::proto

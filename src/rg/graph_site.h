@@ -39,6 +39,9 @@ enum class Verdict : uint8_t {
   kAbort,     ///< cycle through a committed transaction, wait timeout, or
               ///< optimistic-commit cycle: the transaction must abort
   kRejected,  ///< bounded queue overflow: the transaction must abort
+  kUnavailable,  ///< the request or its reply could not be delivered within
+                 ///< the retry budget (fault injection); synthesized by the
+                 ///< protocol layer, never returned by GraphSite itself
 };
 
 /// The dedicated graph site of §3: a single-threaded server that owns the

@@ -16,6 +16,28 @@ const char* TxnStateName(TxnState state) {
   return "unknown";
 }
 
+const char* AbortCauseName(AbortCause cause) {
+  switch (cause) {
+    case AbortCause::kNone:
+      return "none";
+    case AbortCause::kLockTimeout:
+      return "lock_timeout";
+    case AbortCause::kGraphAbort:
+      return "graph_abort";
+    case AbortCause::kGraphRejected:
+      return "graph_rejected";
+    case AbortCause::kStaleWrite:
+      return "stale_write";
+    case AbortCause::kTornRead:
+      return "torn_read";
+    case AbortCause::kUnavailable:
+      return "unavailable";
+    case AbortCause::kCount:
+      break;
+  }
+  return "unknown";
+}
+
 void Transaction::RebuildAccessSets() {
   read_set.clear();
   write_set.clear();

@@ -1,0 +1,91 @@
+// Determinism regression tests (satellite of the fault-injection PR): the
+// simulation is a pure function of (config, seed) — with fault injection
+// both OFF and ON. Runs the same seed twice and requires bit-identical
+// snapshots, including the full rendered metrics block, and additionally
+// requires that all-zero fault knobs reproduce the exact fault-free run
+// (the zero-knob gating guarantee).
+
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "core/config.h"
+#include "core/metrics.h"
+#include "core/system.h"
+
+namespace lazyrep::core {
+namespace {
+
+SystemConfig BaseConfig(uint64_t seed) {
+  SystemConfig c;
+  c.num_sites = 4;
+  c.workload.items_per_site = 10;
+  c.network.latency = 0.002;
+  c.tps = 60;
+  c.total_txns = 300;
+  c.warmup_per_site = 2;
+  c.seed = seed;
+  c.Normalize();
+  return c;
+}
+
+// Runs the config and returns the full human-readable metrics block — a
+// rendering of every headline counter and timing aggregate, so string
+// equality is a strong identity check.
+std::string RunToString(const SystemConfig& c, ProtocolKind kind) {
+  System system(c, kind);
+  MetricsSnapshot m = system.Run();
+  return m.ToString();
+}
+
+class Determinism : public ::testing::TestWithParam<ProtocolKind> {};
+
+TEST_P(Determinism, FaultFreeRunsAreIdentical) {
+  SystemConfig c = BaseConfig(909);
+  EXPECT_EQ(RunToString(c, GetParam()), RunToString(c, GetParam()));
+}
+
+TEST_P(Determinism, FaultyRunsAreIdentical) {
+  SystemConfig c = BaseConfig(909);
+  c.fault.loss_prob = 0.02;
+  c.fault.dup_prob = 0.01;
+  c.fault.site_mtbf = 4.0;
+  c.fault.site_mttr = 0.5;
+  std::string first = RunToString(c, GetParam());
+  std::string second = RunToString(c, GetParam());
+  EXPECT_EQ(first, second);
+  // The faults actually fired (otherwise this test proves nothing).
+  EXPECT_NE(first.find("faults:"), std::string::npos) << first;
+}
+
+TEST_P(Determinism, ScriptedCrashRunsAreIdentical) {
+  SystemConfig c = BaseConfig(909);
+  c.fault.crashes.push_back({/*endpoint=*/1, /*at=*/1.0, /*duration=*/0.5});
+  EXPECT_EQ(RunToString(c, GetParam()), RunToString(c, GetParam()));
+}
+
+TEST_P(Determinism, ZeroFaultKnobsReproduceTheFaultFreeRun) {
+  // All-default fault knobs must leave the run bit-identical to a config
+  // that never heard of fault injection: no injector, no extra RNG draws,
+  // no metrics lines.
+  SystemConfig plain = BaseConfig(4242);
+  SystemConfig zeroed = BaseConfig(4242);
+  zeroed.fault = fault::FaultParams{};  // explicit, all defaults
+  ASSERT_FALSE(zeroed.fault.enabled());
+  std::string a = RunToString(plain, GetParam());
+  std::string b = RunToString(zeroed, GetParam());
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(a.find("faults:"), std::string::npos) << a;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllProtocols, Determinism,
+                         ::testing::Values(ProtocolKind::kLocking,
+                                           ProtocolKind::kPessimistic,
+                                           ProtocolKind::kOptimistic),
+                         [](const auto& info) {
+                           return std::string(
+                               ProtocolKindName(info.param));
+                         });
+
+}  // namespace
+}  // namespace lazyrep::core

@@ -1,0 +1,233 @@
+// Unit tests for the fault-injection subsystem: deterministic injector
+// draws, crash/recovery windows, the StarNetwork faulty-delivery hook, and
+// the reliable channel's retry/backoff behaviour.
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "fault/fault_injector.h"
+#include "fault/reliable_channel.h"
+#include "net/star_network.h"
+#include "sim/process.h"
+#include "sim/simulation.h"
+
+namespace lazyrep::fault {
+namespace {
+
+using db::SiteId;
+using sim::Process;
+using sim::Simulation;
+
+TEST(FaultInjectorTest, SameSeedSameDrawSequence) {
+  Simulation sim_a, sim_b;
+  FaultParams p;
+  p.loss_prob = 0.3;
+  p.dup_prob = 0.2;
+  FaultInjector a(&sim_a, 4, p, 42);
+  FaultInjector b(&sim_b, 4, p, 42);
+  for (int i = 0; i < 500; ++i) {
+    SiteId src = static_cast<SiteId>(i % 4);
+    SiteId dst = static_cast<SiteId>((i + 1) % 4);
+    EXPECT_EQ(a.OnDelivery(src, dst), b.OnDelivery(src, dst)) << i;
+  }
+  EXPECT_EQ(a.messages_dropped(), b.messages_dropped());
+  EXPECT_EQ(a.messages_duplicated(), b.messages_duplicated());
+  EXPECT_GT(a.messages_dropped(), 0u);
+  EXPECT_GT(a.messages_duplicated(), 0u);
+}
+
+TEST(FaultInjectorTest, DifferentSeedsDiverge) {
+  Simulation sim_a, sim_b;
+  FaultParams p;
+  p.loss_prob = 0.5;
+  FaultInjector a(&sim_a, 2, p, 1);
+  FaultInjector b(&sim_b, 2, p, 2);
+  int diff = 0;
+  for (int i = 0; i < 200; ++i) {
+    if (a.OnDelivery(0, 1) != b.OnDelivery(0, 1)) ++diff;
+  }
+  EXPECT_GT(diff, 0);
+}
+
+TEST(FaultInjectorTest, DownEndpointDropsBothDirections) {
+  Simulation sim;
+  FaultParams p;
+  FaultInjector inj(&sim, 3, p, 7);
+  inj.Crash(1);
+  EXPECT_FALSE(inj.IsUp(1));
+  EXPECT_EQ(inj.OnDelivery(0, 1), 0);  // into the crashed endpoint
+  EXPECT_EQ(inj.OnDelivery(1, 0), 0);  // out of the crashed endpoint
+  EXPECT_EQ(inj.OnDelivery(0, 2), 1);  // unaffected pair
+  inj.Recover(1);
+  EXPECT_TRUE(inj.IsUp(1));
+  EXPECT_EQ(inj.OnDelivery(0, 1), 1);
+}
+
+TEST(FaultInjectorTest, ScheduledCrashWindowAndDowntime) {
+  Simulation sim;
+  FaultParams p;
+  p.crashes.push_back({/*endpoint=*/0, /*at=*/1.0, /*duration=*/0.5});
+  FaultInjector inj(&sim, 2, p, 7);
+  bool up_before = false, up_during = true, up_after = false;
+  double downtime_during = -1;
+  sim.ScheduleCallbackAt(0.9, [&] { up_before = inj.IsUp(0); });
+  sim.ScheduleCallbackAt(1.2, [&] {
+    up_during = inj.IsUp(0);
+    downtime_during = inj.Downtime(0);
+  });
+  sim.ScheduleCallbackAt(2.0, [&] { up_after = inj.IsUp(0); });
+  inj.Start();
+  sim.Run();
+  EXPECT_TRUE(up_before);
+  EXPECT_FALSE(up_during);
+  EXPECT_NEAR(downtime_during, 0.2, 1e-12);  // open window counts
+  EXPECT_TRUE(up_after);
+  EXPECT_NEAR(inj.Downtime(0), 0.5, 1e-12);
+  EXPECT_EQ(inj.crashes(), 1u);
+}
+
+TEST(FaultInjectorTest, MtbfRotationCrashesAndRecovers) {
+  Simulation sim;
+  FaultParams p;
+  p.site_mtbf = 0.5;
+  p.site_mttr = 0.1;
+  FaultInjector inj(&sim, 3, p, 11);  // endpoint 2 is the "graph site"
+  inj.Start();
+  sim.Run(20.0);
+  EXPECT_GT(inj.crashes(), 0u);
+  EXPECT_GT(inj.Downtime(0) + inj.Downtime(1), 0.0);
+  // crash_graph_site defaults off: the last endpoint never crashes.
+  EXPECT_NEAR(inj.Downtime(2), 0.0, 1e-12);
+  inj.Stop();
+  EXPECT_TRUE(inj.IsUp(0));
+  EXPECT_TRUE(inj.IsUp(1));
+  // After Stop, everything delivers (drain mode) and time can pass with no
+  // further transitions.
+  EXPECT_EQ(inj.OnDelivery(0, 1), 1);
+  double downtime = inj.Downtime(0);
+  sim.Run(40.0);
+  EXPECT_EQ(inj.Downtime(0), downtime);
+}
+
+Process DoTransfer(Simulation* sim, net::StarNetwork* net, SiteId src,
+                   SiteId dst, size_t bytes, bool* arrived, double* done_at) {
+  *arrived = co_await net->Transfer(src, dst, bytes);
+  *done_at = sim->Now();
+}
+
+TEST(NetworkFaultHookTest, DroppedTransferReturnsFalse) {
+  Simulation sim;
+  net::StarNetwork net(&sim, 2, net::NetworkParams{0.1, 1e6});
+  net.set_fault_hook([](SiteId, SiteId) { return 0; });
+  bool arrived = true;
+  double done = -1;
+  sim.Spawn(DoTransfer(&sim, &net, 0, 1, 12500, &arrived, &done));
+  sim.Run();
+  EXPECT_FALSE(arrived);
+  // Loss happens at the switch: send tx (0.1) + latency (0.1), no receive.
+  EXPECT_NEAR(done, 0.2, 1e-12);
+  EXPECT_EQ(net.messages_dropped(), 1u);
+  EXPECT_EQ(net.messages_delivered(), 0u);
+}
+
+TEST(NetworkFaultHookTest, DuplicateOccupiesIncomingLinkTwice) {
+  Simulation sim;
+  net::StarNetwork net(&sim, 2, net::NetworkParams{0.0, 1e6});
+  net.set_fault_hook([](SiteId, SiteId) { return 2; });
+  bool arrived = false;
+  double done = -1;
+  sim.Spawn(DoTransfer(&sim, &net, 0, 1, 12500, &arrived, &done));
+  sim.Run();
+  EXPECT_TRUE(arrived);
+  // send 0.1 + two receive transmissions of 0.1 each.
+  EXPECT_NEAR(done, 0.3, 1e-12);
+  EXPECT_EQ(net.copies_duplicated(), 1u);
+  EXPECT_EQ(net.messages_delivered(), 1u);  // payload counted once
+}
+
+Process DoSend(Simulation* sim, ReliableChannel* ch, SiteId src, SiteId dst,
+               size_t bytes, int retries, bool* ok, double* done_at) {
+  *ok = co_await ch->Send(src, dst, bytes, retries);
+  *done_at = sim->Now();
+}
+
+FaultParams ChannelParams() {
+  FaultParams p;
+  p.rto_initial = 0.05;
+  p.rto_backoff = 2.0;
+  p.rto_max = 1.0;
+  return p;
+}
+
+TEST(ReliableChannelTest, RetransmitsUntilDeliveredWithBackoff) {
+  Simulation sim;
+  net::StarNetwork net(&sim, 2, net::NetworkParams{0.0, 1e9});
+  int drops_left = 2;  // first two payload legs into site 1 are lost
+  net.set_fault_hook([&](SiteId, SiteId dst) {
+    if (dst == 1 && drops_left > 0) {
+      --drops_left;
+      return 0;
+    }
+    return 1;
+  });
+  ReliableChannel ch(&sim, &net, ChannelParams(), 64);
+  bool ok = false;
+  double done = -1;
+  sim.Spawn(DoSend(&sim, &ch, 0, 1, 128, kRetryForever, &ok, &done));
+  sim.Run();
+  EXPECT_TRUE(ok);
+  EXPECT_EQ(ch.retransmissions(), 2u);
+  EXPECT_EQ(ch.delivered(), 1u);
+  // Two timer expiries before success: 0.05 + 0.10 (exponential backoff).
+  EXPECT_GE(done, 0.15);
+  EXPECT_LT(done, 0.2);
+}
+
+TEST(ReliableChannelTest, CappedRetriesGiveUp) {
+  Simulation sim;
+  net::StarNetwork net(&sim, 2, net::NetworkParams{0.0, 1e9});
+  net.set_fault_hook([](SiteId, SiteId) { return 0; });  // black hole
+  ReliableChannel ch(&sim, &net, ChannelParams(), 64);
+  bool ok = true;
+  double done = -1;
+  sim.Spawn(DoSend(&sim, &ch, 0, 1, 128, /*retries=*/3, &ok, &done));
+  sim.Run();
+  EXPECT_FALSE(ok);
+  EXPECT_EQ(ch.send_failures(), 1u);
+  EXPECT_EQ(ch.retransmissions(), 3u);
+  EXPECT_EQ(ch.delivered(), 0u);
+}
+
+TEST(ReliableChannelTest, LostAckTriggersDedupedRetransmission) {
+  Simulation sim;
+  net::StarNetwork net(&sim, 2, net::NetworkParams{0.0, 1e9});
+  int ack_drops = 1;  // payload arrives; the first ack (into site 0) is lost
+  net.set_fault_hook([&](SiteId, SiteId dst) {
+    if (dst == 0 && ack_drops > 0) {
+      --ack_drops;
+      return 0;
+    }
+    return 1;
+  });
+  ReliableChannel ch(&sim, &net, ChannelParams(), 64);
+  std::vector<SiteId> charged;
+  ch.set_charge([&](SiteId e) -> sim::Task<void> {
+    charged.push_back(e);
+    co_return;
+  });
+  bool ok = false;
+  double done = -1;
+  sim.Spawn(DoSend(&sim, &ch, 0, 1, 128, kRetryForever, &ok, &done));
+  sim.Run();
+  EXPECT_TRUE(ok);
+  EXPECT_EQ(ch.retransmissions(), 1u);
+  EXPECT_EQ(ch.delivered(), 1u);  // handed to the receiver exactly once
+  // Dedup cost at the receiver (1) and re-send cost at the sender (0).
+  ASSERT_EQ(charged.size(), 2u);
+  EXPECT_EQ(charged[0], 1);
+  EXPECT_EQ(charged[1], 0);
+}
+
+}  // namespace
+}  // namespace lazyrep::fault

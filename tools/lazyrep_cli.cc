@@ -42,6 +42,13 @@ void PrintHelp() {
       "extensions\n"
       "  --replication-degree=K --gatekeeper=N --two-version\n"
       "  --relaxed-ownership --sequential-dispatch\n"
+      "fault injection\n"
+      "  --loss=P --dup=P                per-leg message loss/dup probability\n"
+      "  --site-mtbf=SEC --site-mttr=SEC exponential crash/recovery rotation\n"
+      "  --crash-graph-site              include the graph site in the rotation\n"
+      "  --crash=ENDPOINT,AT,DUR         scripted outage (repeatable;\n"
+      "                                  endpoint <sites> = graph site)\n"
+      "  --retries=N --rto=SEC           reliable-messaging retry policy\n"
       "output\n"
       "  --csv=FILE                      append a machine-readable row\n"
       "  --check-serializability         run the MVSG checker (slower)\n"
@@ -178,6 +185,30 @@ int main(int argc, char** argv) {
       config.workload.relaxed_ownership = true;
     } else if (std::strcmp(a, "--sequential-dispatch") == 0) {
       config.pipelined_dispatch = false;
+    } else if (FlagValue(a, "--loss", &v)) {
+      config.fault.loss_prob = std::atof(v);
+    } else if (FlagValue(a, "--dup", &v)) {
+      config.fault.dup_prob = std::atof(v);
+    } else if (FlagValue(a, "--site-mtbf", &v)) {
+      config.fault.site_mtbf = std::atof(v);
+    } else if (FlagValue(a, "--site-mttr", &v)) {
+      config.fault.site_mttr = std::atof(v);
+    } else if (std::strcmp(a, "--crash-graph-site") == 0) {
+      config.fault.crash_graph_site = true;
+    } else if (FlagValue(a, "--crash", &v)) {
+      fault::ScheduledCrash c;
+      double at = 0, dur = 0;
+      if (std::sscanf(v, "%d,%lf,%lf", &c.endpoint, &at, &dur) != 3) {
+        std::fprintf(stderr, "--crash wants ENDPOINT,AT,DURATION\n");
+        return 1;
+      }
+      c.at = at;
+      c.duration = dur;
+      config.fault.crashes.push_back(c);
+    } else if (FlagValue(a, "--retries", &v)) {
+      config.fault.max_retries = std::atoi(v);
+    } else if (FlagValue(a, "--rto", &v)) {
+      config.fault.rto_initial = std::atof(v);
     } else if (FlagValue(a, "--csv", &v)) {
       csv_path = v;
     } else if (std::strcmp(a, "--check-serializability") == 0) {
