@@ -9,7 +9,7 @@
 // are only attainable with overlapped round trips; this bench quantifies the
 // difference.
 //
-// Usage: bench_ablate_dispatch [--txns=N]
+// Usage: bench_ablate_dispatch [--txns=N] [--jobs=N]
 
 #include <cstdio>
 
@@ -26,6 +26,8 @@ int main(int argc, char** argv) {
               (unsigned long long)opt.txns);
   std::printf("%-12s %-12s %12s %16s %16s %10s\n", "protocol", "dispatch",
               "completed", "ro response", "upd response", "aborts");
+  std::vector<core::RunSpec> specs;
+  std::vector<bool> pipelined_modes;
   for (core::ProtocolKind kind :
        {core::ProtocolKind::kLocking, core::ProtocolKind::kPessimistic,
         core::ProtocolKind::kOptimistic}) {
@@ -35,14 +37,18 @@ int main(int argc, char** argv) {
       c.total_txns = opt.txns;
       c.seed = opt.seed;
       c.pipelined_dispatch = pipelined;
-      core::System system(c, kind);
-      core::MetricsSnapshot m = system.Run();
-      std::printf("%-12s %-12s %12.1f %13.3f s %13.3f s %9.2f%%\n",
-                  core::ProtocolKindName(kind),
-                  pipelined ? "pipelined" : "sequential", m.completed_tps,
-                  m.read_only_response.Mean(), m.update_response.Mean(),
-                  100 * m.abort_rate);
+      specs.push_back({c, kind});
+      pipelined_modes.push_back(pipelined);
     }
+  }
+  std::vector<core::MetricsSnapshot> ms = core::RunAll(specs, opt.jobs);
+  for (size_t i = 0; i < specs.size(); ++i) {
+    const core::MetricsSnapshot& m = ms[i];
+    std::printf("%-12s %-12s %12.1f %13.3f s %13.3f s %9.2f%%\n",
+                core::ProtocolKindName(specs[i].protocol),
+                pipelined_modes[i] ? "pipelined" : "sequential",
+                m.completed_tps, m.read_only_response.Mean(),
+                m.update_response.Mean(), 100 * m.abort_rate);
   }
   std::printf(
       "\nExpected: sequential dispatch multiplies locking/pessimistic\n"

@@ -8,7 +8,7 @@
 //
 // One JSON object per line per (protocol, point), for scripted plotting.
 //
-// Usage: bench_ablate_fault_rate [--txns=N] [--seed=N]
+// Usage: bench_ablate_fault_rate [--txns=N] [--seed=N] [--jobs=N]
 
 #include <cstdio>
 
@@ -29,10 +29,8 @@ core::SystemConfig BaseConfig(uint64_t txns, uint64_t seed) {
   return c;
 }
 
-void RunPoint(const char* sweep, double x, core::SystemConfig c,
-              core::ProtocolKind kind) {
-  core::System system(c, kind);
-  core::MetricsSnapshot m = system.Run();
+void PrintPoint(const char* sweep, double x, const core::MetricsSnapshot& m,
+                core::ProtocolKind kind) {
   uint64_t unavailable = m.aborted_by_cause[static_cast<size_t>(
       txn::AbortCause::kUnavailable)];
   std::printf(
@@ -59,12 +57,18 @@ int main(int argc, char** argv) {
                                       core::ProtocolKind::kPessimistic,
                                       core::ProtocolKind::kOptimistic};
 
+  std::vector<core::RunSpec> specs;
+  std::vector<const char*> sweeps;
+  std::vector<double> xs;
+
   // Sweep 1: per-leg message-loss probability, sites always up.
   for (core::ProtocolKind kind : kinds) {
     for (double loss : {0.0, 0.001, 0.01, 0.05, 0.1}) {
       core::SystemConfig c = BaseConfig(opt.txns, opt.seed);
       c.fault.loss_prob = loss;
-      RunPoint("loss", loss, c, kind);
+      specs.push_back({c, kind});
+      sweeps.push_back("loss");
+      xs.push_back(loss);
     }
   }
 
@@ -75,8 +79,15 @@ int main(int argc, char** argv) {
       core::SystemConfig c = BaseConfig(opt.txns, opt.seed);
       c.fault.site_mtbf = mtbf;
       c.fault.site_mttr = 1.0;
-      RunPoint("mtbf", mtbf, c, kind);
+      specs.push_back({c, kind});
+      sweeps.push_back("mtbf");
+      xs.push_back(mtbf);
     }
+  }
+
+  std::vector<core::MetricsSnapshot> ms = core::RunAll(specs, opt.jobs);
+  for (size_t i = 0; i < specs.size(); ++i) {
+    PrintPoint(sweeps[i], xs[i], ms[i], specs[i].protocol);
   }
   return 0;
 }

@@ -3,7 +3,7 @@
 // the aborts away from update transactions — motivated by stock-trading
 // workloads where prices must post promptly regardless of contention.
 //
-// Usage: bench_ablate_gatekeeper [--txns=N]
+// Usage: bench_ablate_gatekeeper [--txns=N] [--jobs=N]
 
 #include <cstdio>
 
@@ -22,6 +22,8 @@ int main(int argc, char** argv) {
   std::printf("%-12s %-8s %10s %12s %12s %14s %16s\n", "protocol", "gate",
               "completed", "upd aborts", "ro aborts", "upd response",
               "ro response");
+  std::vector<core::RunSpec> specs;
+  std::vector<int> gates;
   for (core::ProtocolKind kind :
        {core::ProtocolKind::kPessimistic, core::ProtocolKind::kOptimistic}) {
     for (int gate : {0, 16, 8, 4}) {  // 0 = no gatekeeper (paper baseline)
@@ -30,20 +32,25 @@ int main(int argc, char** argv) {
       c.total_txns = opt.txns;
       c.seed = opt.seed;
       c.read_gatekeeper = gate;
-      core::System system(c, kind);
-      core::MetricsSnapshot m = system.Run();
-      char g[8];
-      std::snprintf(g, sizeof(g), gate == 0 ? "off" : "%d", gate);
-      double upd = m.submitted_update
-                       ? 100.0 * m.aborted_update / m.submitted_update
-                       : 0;
-      double ro = m.submitted_read_only
-                      ? 100.0 * m.aborted_read_only / m.submitted_read_only
-                      : 0;
-      std::printf("%-12s %-8s %10.1f %11.2f%% %11.2f%% %11.3f s %13.3f s\n",
-                  core::ProtocolKindName(kind), g, m.completed_tps, upd, ro,
-                  m.update_response.Mean(), m.read_only_response.Mean());
+      specs.push_back({c, kind});
+      gates.push_back(gate);
     }
+  }
+  std::vector<core::MetricsSnapshot> ms = core::RunAll(specs, opt.jobs);
+  for (size_t i = 0; i < specs.size(); ++i) {
+    const core::MetricsSnapshot& m = ms[i];
+    char g[8];
+    std::snprintf(g, sizeof(g), gates[i] == 0 ? "off" : "%d", gates[i]);
+    double upd = m.submitted_update
+                     ? 100.0 * m.aborted_update / m.submitted_update
+                     : 0;
+    double ro = m.submitted_read_only
+                    ? 100.0 * m.aborted_read_only / m.submitted_read_only
+                    : 0;
+    std::printf("%-12s %-8s %10.1f %11.2f%% %11.2f%% %11.3f s %13.3f s\n",
+                core::ProtocolKindName(specs[i].protocol), g, m.completed_tps,
+                upd, ro, m.update_response.Mean(),
+                m.read_only_response.Mean());
   }
   std::printf(
       "\nExpected (§4.3): tightening the gate lowers the update abort share\n"

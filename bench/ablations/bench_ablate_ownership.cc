@@ -12,12 +12,11 @@
 // write locks would need remote acquisition — one of the "different
 // protocols" the paper defers).
 //
-// Usage: bench_ablate_ownership [--txns=N]
+// Usage: bench_ablate_ownership [--txns=N] [--jobs=N]
 
 #include <cstdio>
 
 #include "core/config.h"
-#include "core/history.h"
 #include "core/study.h"
 #include "core/system.h"
 
@@ -31,6 +30,8 @@ int main(int argc, char** argv) {
   std::printf("%-12s %-10s %-8s %10s %10s %16s %14s\n", "protocol",
               "ownership", "TPS", "completed", "aborts", "upd response",
               "serializable");
+  std::vector<core::RunSpec> specs;
+  std::vector<bool> relaxed_modes;
   for (core::ProtocolKind kind :
        {core::ProtocolKind::kPessimistic, core::ProtocolKind::kOptimistic}) {
     for (double tps : {400.0, 1200.0}) {
@@ -41,17 +42,20 @@ int main(int argc, char** argv) {
         c.seed = opt.seed;
         c.workload.relaxed_ownership = relaxed;
         c.Normalize();
-        core::System system(c, kind);
-        core::HistoryRecorder history;
-        system.set_history(&history);
-        core::MetricsSnapshot m = system.Run();
-        std::printf("%-12s %-10s %-8.0f %10.1f %9.2f%% %13.3f s %14s\n",
-                    core::ProtocolKindName(kind),
-                    relaxed ? "relaxed" : "primary", tps, m.completed_tps,
-                    100 * m.abort_rate, m.update_response.Mean(),
-                    history.CheckOneCopySerializable() ? "yes" : "NO");
+        specs.push_back({c, kind});
+        relaxed_modes.push_back(relaxed);
       }
     }
+  }
+  std::vector<core::MetricsSnapshot> ms =
+      core::RunAll(specs, opt.jobs, /*check_serializability=*/true);
+  for (size_t i = 0; i < specs.size(); ++i) {
+    const core::MetricsSnapshot& m = ms[i];
+    std::printf("%-12s %-10s %-8.0f %10.1f %9.2f%% %13.3f s %14s\n",
+                core::ProtocolKindName(specs[i].protocol),
+                relaxed_modes[i] ? "relaxed" : "primary",
+                specs[i].config.tps, m.completed_tps, 100 * m.abort_rate,
+                m.update_response.Mean(), m.serializable ? "yes" : "NO");
   }
   std::printf(
       "\nExpected (footnote 2): overall performance similar. The relaxation\n"

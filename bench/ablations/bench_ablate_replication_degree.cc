@@ -6,7 +6,7 @@
 // the next k-1 sites; reads draw from locally replicated items; update
 // propagation fans out only to the replica holders.
 //
-// Usage: bench_ablate_replication_degree [--txns=N]
+// Usage: bench_ablate_replication_degree [--txns=N] [--jobs=N]
 
 #include <cstdio>
 
@@ -25,6 +25,8 @@ int main(int argc, char** argv) {
   std::printf("%-12s %-8s %12s %10s %16s %14s %12s\n", "protocol", "k",
               "completed", "aborts", "upd commit->cmpl", "net util",
               "graph cpu");
+  std::vector<core::RunSpec> specs;
+  std::vector<int> degrees;
   for (core::ProtocolKind kind :
        {core::ProtocolKind::kLocking, core::ProtocolKind::kPessimistic,
         core::ProtocolKind::kOptimistic}) {
@@ -35,15 +37,19 @@ int main(int argc, char** argv) {
       c.seed = opt.seed;
       c.replication_degree = degree;
       c.Normalize();
-      core::System system(c, kind);
-      core::MetricsSnapshot m = system.Run();
-      char k[8];
-      std::snprintf(k, sizeof(k), degree == 0 ? "full" : "%d", degree);
-      std::printf("%-12s %-8s %12.1f %9.2f%% %13.3f s %14.3f %12.3f\n",
-                  core::ProtocolKindName(kind), k, m.completed_tps,
-                  100 * m.abort_rate, m.commit_to_complete.Mean(),
-                  m.mean_network_utilization, m.graph_cpu_utilization);
+      specs.push_back({c, kind});
+      degrees.push_back(degree);
     }
+  }
+  std::vector<core::MetricsSnapshot> ms = core::RunAll(specs, opt.jobs);
+  for (size_t i = 0; i < specs.size(); ++i) {
+    const core::MetricsSnapshot& m = ms[i];
+    char k[8];
+    std::snprintf(k, sizeof(k), degrees[i] == 0 ? "full" : "%d", degrees[i]);
+    std::printf("%-12s %-8s %12.1f %9.2f%% %13.3f s %14.3f %12.3f\n",
+                core::ProtocolKindName(specs[i].protocol), k, m.completed_tps,
+                100 * m.abort_rate, m.commit_to_complete.Mean(),
+                m.mean_network_utilization, m.graph_cpu_utilization);
   }
   std::printf(
       "\nReading (§5): the paper conjectures higher update throughput at\n"

@@ -5,7 +5,7 @@
 // sweeps the timeout on the highest-contention study (OC-1*) for all three
 // protocols.
 //
-// Usage: bench_ablate_timeout [--txns=N]
+// Usage: bench_ablate_timeout [--txns=N] [--jobs=N]
 
 #include <cstdio>
 
@@ -23,6 +23,8 @@ int main(int argc, char** argv) {
               kTps, (unsigned long long)opt.txns);
   std::printf("%-12s %-9s %12s %10s %14s %16s\n", "protocol", "timeout",
               "completed", "aborts", "lock timeouts", "ro response");
+  std::vector<core::RunSpec> specs;
+  std::vector<double> timeouts;
   for (core::ProtocolKind kind :
        {core::ProtocolKind::kLocking, core::ProtocolKind::kPessimistic,
         core::ProtocolKind::kOptimistic}) {
@@ -33,13 +35,18 @@ int main(int argc, char** argv) {
       c.seed = opt.seed;
       c.timeout = timeout;
       c.graph.wait_timeout = timeout;
-      core::System system(c, kind);
-      core::MetricsSnapshot m = system.Run();
-      std::printf("%-12s %-9.2f %12.1f %9.2f%% %14llu %13.3f s\n",
-                  core::ProtocolKindName(kind), timeout, m.completed_tps,
-                  100 * m.abort_rate, (unsigned long long)m.lock_timeouts,
-                  m.read_only_response.Mean());
+      specs.push_back({c, kind});
+      timeouts.push_back(timeout);
     }
+  }
+  std::vector<core::MetricsSnapshot> ms = core::RunAll(specs, opt.jobs);
+  for (size_t i = 0; i < specs.size(); ++i) {
+    const core::MetricsSnapshot& m = ms[i];
+    std::printf("%-12s %-9.2f %12.1f %9.2f%% %14llu %13.3f s\n",
+                core::ProtocolKindName(specs[i].protocol), timeouts[i],
+                m.completed_tps, 100 * m.abort_rate,
+                (unsigned long long)m.lock_timeouts,
+                m.read_only_response.Mean());
   }
   std::printf(
       "\nReading (§3): the graph protocols show the paper's 'relatively\n"

@@ -1,7 +1,7 @@
 // Reproduces the OC-1 continental-network study of §4.2 (Figures 8-10, 12):
 // as OC-3 but 55 Mb/s bandwidth and 100 ms latency; load swept 200-2400 TPS.
 //
-// Usage: bench_study_oc1 [--txns=N] [--points=N] [--figure=N] [--quick]
+// Usage: bench_study_oc1 [--txns=N] [--points=N] [--figure=N] [--quick] [--jobs=N]
 
 #include <cstdio>
 
@@ -22,6 +22,7 @@ int main(int argc, char** argv) {
     return c;
   });
   runner.set_protocols(opt.protocols);
+  runner.set_jobs(opt.jobs);
 
   std::vector<double> tps = {200, 600, 1000, 1400, 1600, 2000, 2400};
   std::printf("OC-1 study (Table 1, §4.2) — %llu transactions per point\n",

@@ -2,7 +2,7 @@
 // 20 sites, 400 items, OC-1 network; the highest-contention scenario of the
 // paper. Load swept 100-2400 TPS.
 //
-// Usage: bench_study_oc1star [--txns=N] [--points=N] [--figure=N] [--quick]
+// Usage: bench_study_oc1star [--txns=N] [--points=N] [--figure=N] [--quick] [--jobs=N]
 
 #include <cstdio>
 
@@ -23,6 +23,7 @@ int main(int argc, char** argv) {
     return c;
   });
   runner.set_protocols(opt.protocols);
+  runner.set_jobs(opt.jobs);
 
   std::vector<double> tps = {100, 200, 400, 800, 1400, 2000, 2400};
   std::printf("OC-1* study (Table 1, §4.3) — %llu transactions per point\n",

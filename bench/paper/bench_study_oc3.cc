@@ -3,7 +3,7 @@
 // 200 to 2600 TPS.
 //
 // Usage: bench_study_oc3 [--txns=N] [--points=N] [--figure=N] [--quick]
-//                        [--protocols=lpo] [--seed=N]
+//                        [--protocols=lpo] [--seed=N] [--jobs=N]
 
 #include <cstdio>
 
@@ -24,6 +24,7 @@ int main(int argc, char** argv) {
     return c;
   });
   runner.set_protocols(opt.protocols);
+  runner.set_jobs(opt.jobs);
 
   std::vector<double> tps = {200,  600,  1000, 1400, 1800,
                              2200, 2400, 2600};

@@ -2,7 +2,7 @@
 // sites varies from 2 to 140 with locTPS fixed at 15 and 20 primary items
 // per site, so TPS and |DB| grow with the system.
 //
-// Usage: bench_study_vsn [--txns=N] [--points=N] [--figure=N] [--quick]
+// Usage: bench_study_vsn [--txns=N] [--points=N] [--figure=N] [--quick] [--jobs=N]
 
 #include <cstdio>
 
@@ -22,6 +22,7 @@ int main(int argc, char** argv) {
     return c;
   });
   runner.set_protocols(opt.protocols);
+  runner.set_jobs(opt.jobs);
 
   std::vector<double> sites = {2, 10, 20, 40, 60, 80, 100, 120, 140};
   std::printf("vsN study (Table 1, §4.4) — %llu transactions per point, "

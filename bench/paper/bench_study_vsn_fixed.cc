@@ -4,7 +4,7 @@
 // reports results "similar to the vsN study" and omits the plots; this bench
 // regenerates the same series so the claim can be checked.
 //
-// Usage: bench_study_vsn_fixed [--txns=N] [--points=N] [--quick]
+// Usage: bench_study_vsn_fixed [--txns=N] [--points=N] [--quick] [--jobs=N]
 
 #include <cstdio>
 
@@ -27,6 +27,7 @@ int main(int argc, char** argv) {
     return c;
   });
   runner.set_protocols(opt.protocols);
+  runner.set_jobs(opt.jobs);
 
   std::vector<double> sites = {4, 10, 20, 40, 60, 80, 100};
   std::printf("vsN fixed-TPS/|DB| variant (§4.4) — TPS=%.0f, |DB|=%d, "

@@ -62,6 +62,20 @@ std::string MetricsSnapshot::ToString() const {
       out += buf;
     }
   }
+
+  // Audit line appears only when a HistoryRecorder was attached, so plain
+  // runs print exactly what they always printed.
+  if (serializable >= 0) {
+    std::snprintf(buf, sizeof(buf),
+                  "\none-copy serializable: %s (%llu committed, %llu reads "
+                  "checked)%s%s",
+                  serializable ? "yes" : "NO",
+                  (unsigned long long)history_committed,
+                  (unsigned long long)history_reads,
+                  serializable ? "" : " — ",
+                  serializable ? "" : serializability_why.c_str());
+    out += buf;
+  }
   return out;
 }
 

@@ -85,6 +85,19 @@ struct MetricsSnapshot {
   /// Availability of the graph site endpoint (1 for locking).
   double graph_availability = 1.0;
 
+  // -- serializability audit (filled only when history recording is on) ------
+
+  /// MVSG verdict: -1 = not checked, 1 = one-copy serializable, 0 = a cycle
+  /// was found. Set by RunAll / StudyRunner when the fleet-wide
+  /// check_serializability flag is on.
+  int serializable = -1;
+  /// Committed transactions the HistoryRecorder captured for the check.
+  uint64_t history_committed = 0;
+  /// Read events the HistoryRecorder captured for the check.
+  uint64_t history_reads = 0;
+  /// One offending MVSG cycle's description; empty unless serializable == 0.
+  std::string serializability_why;
+
   std::string ToString() const;
 };
 

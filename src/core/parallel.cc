@@ -1,0 +1,108 @@
+#include "core/parallel.h"
+
+#include <algorithm>
+#include <cstring>
+#include <utility>
+
+namespace lazyrep::core {
+
+int DefaultJobs() {
+  unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<int>(hw);
+}
+
+ThreadPool::ThreadPool(int threads) {
+  int n = std::max(threads, 1);
+  workers_.reserve(n);
+  for (int i = 0; i < n; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& w : workers_) w.join();
+}
+
+void ThreadPool::Submit(std::function<void()> task) {
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    queue_.push_back(std::move(task));
+  }
+  work_cv_.notify_one();
+}
+
+void ThreadPool::Wait() {
+  std::unique_lock<std::mutex> lock(mu_);
+  idle_cv_.wait(lock, [this] { return queue_.empty() && active_ == 0; });
+}
+
+void ThreadPool::WorkerLoop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stop_ set and drained
+      task = std::move(queue_.front());
+      queue_.pop_front();
+      ++active_;
+    }
+    task();
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      --active_;
+      if (queue_.empty() && active_ == 0) idle_cv_.notify_all();
+    }
+  }
+}
+
+void ParallelFor(int jobs, size_t n,
+                 const std::function<void(size_t)>& body) {
+  if (jobs <= 0) jobs = DefaultJobs();
+  size_t workers = std::min<size_t>(jobs, n);
+  if (workers <= 1) {
+    for (size_t i = 0; i < n; ++i) body(i);
+    return;
+  }
+  ThreadPool pool(static_cast<int>(workers));
+  for (size_t i = 0; i < n; ++i) {
+    pool.Submit([&body, i] { body(i); });
+  }
+  pool.Wait();
+}
+
+uint64_t SplitMix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+uint64_t HashCombine(uint64_t seed, uint64_t value) {
+  // boost::hash_combine's mixing feeding the splitmix64 finalizer: the
+  // shifted-seed terms keep permuted argument lists from colliding.
+  return SplitMix64(seed ^ (value + 0x9e3779b97f4a7c15ULL + (seed << 6) +
+                            (seed >> 2)));
+}
+
+uint64_t HashString(uint64_t seed, const char* s, size_t len) {
+  // Length first so "ab"+"c" and "a"+"bc" chunked differently still differ,
+  // then 8-byte little-endian words.
+  seed = HashCombine(seed, len);
+  while (len > 0) {
+    uint64_t word = 0;
+    size_t take = len < 8 ? len : 8;
+    std::memcpy(&word, s, take);
+    seed = HashCombine(seed, word);
+    s += take;
+    len -= take;
+  }
+  return seed;
+}
+
+}  // namespace lazyrep::core

@@ -3,11 +3,52 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <mutex>
 #include <utility>
 
+#include "core/history.h"
+#include "core/parallel.h"
 #include "core/system.h"
 
 namespace lazyrep::core {
+
+uint64_t DerivePointSeed(const std::string& study_name, ProtocolKind protocol,
+                         double x, uint64_t base_seed) {
+  uint64_t h = 0x243f6a8885a308d3ULL;  // domain tag (pi), not tunable
+  h = HashString(h, study_name.data(), study_name.size());
+  h = HashCombine(h, static_cast<uint64_t>(protocol));
+  uint64_t x_bits = 0;
+  static_assert(sizeof(x_bits) == sizeof(x));
+  std::memcpy(&x_bits, &x, sizeof(x_bits));
+  h = HashCombine(h, x_bits);
+  return HashCombine(h, base_seed);
+}
+
+std::vector<MetricsSnapshot> RunAll(
+    const std::vector<RunSpec>& specs, int jobs, bool check_serializability,
+    const std::function<void(size_t, const MetricsSnapshot&)>& on_done) {
+  std::vector<MetricsSnapshot> snaps(specs.size());
+  std::mutex done_mu;
+  ParallelFor(jobs, specs.size(), [&](size_t i) {
+    System system(specs[i].config, specs[i].protocol);
+    HistoryRecorder history;
+    if (check_serializability) system.set_history(&history);
+    MetricsSnapshot snap = system.Run();
+    if (check_serializability) {
+      std::string why;
+      snap.serializable = history.CheckOneCopySerializable(&why) ? 1 : 0;
+      snap.history_committed = history.committed_count();
+      snap.history_reads = history.reads_recorded();
+      snap.serializability_why = std::move(why);
+    }
+    if (on_done) {
+      std::lock_guard<std::mutex> lock(done_mu);
+      on_done(i, snap);
+    }
+    snaps[i] = std::move(snap);
+  });
+  return snaps;
+}
 
 StudyRunner::StudyRunner(std::string name, ConfigFn make_config)
     : name_(std::move(name)),
@@ -21,25 +62,40 @@ void StudyRunner::set_protocols(std::vector<ProtocolKind> protocols) {
 
 std::vector<StudyPoint> StudyRunner::Sweep(const std::vector<double>& xs,
                                            bool verbose) {
+  // Specs are laid out in canonical order (protocol-major, xs as given);
+  // RunAll returns snapshots by index, so the collected points stay in that
+  // order no matter which worker finishes first.
   std::vector<StudyPoint> points;
+  std::vector<RunSpec> specs;
   points.reserve(xs.size() * protocols_.size());
+  specs.reserve(xs.size() * protocols_.size());
   for (ProtocolKind kind : protocols_) {
     for (double x : xs) {
-      SystemConfig config = make_config_(x);
-      System system(config, kind);
       StudyPoint point;
       point.x = x;
       point.protocol = kind;
-      point.snap = system.Run();
-      if (verbose) {
-        std::fprintf(stderr, "[%s] %-11s x=%-7g completed=%.0f tps abort=%.3f"
-                     " graph-cpu=%.2f\n",
-                     name_.c_str(), ProtocolKindName(kind), x,
-                     point.snap.completed_tps, point.snap.abort_rate,
-                     point.snap.graph_cpu_utilization);
-      }
-      points.push_back(std::move(point));
+      points.push_back(point);
+      RunSpec spec;
+      spec.config = make_config_(x);
+      spec.config.seed = DerivePointSeed(name_, kind, x, spec.config.seed);
+      spec.protocol = kind;
+      specs.push_back(std::move(spec));
     }
+  }
+  std::function<void(size_t, const MetricsSnapshot&)> report;
+  if (verbose) {
+    report = [this, &points](size_t i, const MetricsSnapshot& snap) {
+      std::fprintf(stderr, "[%s] %-11s x=%-7g completed=%.0f tps abort=%.3f"
+                   " graph-cpu=%.2f\n",
+                   name_.c_str(), ProtocolKindName(points[i].protocol),
+                   points[i].x, snap.completed_tps, snap.abort_rate,
+                   snap.graph_cpu_utilization);
+    };
+  }
+  std::vector<MetricsSnapshot> snaps =
+      RunAll(specs, jobs_, check_serializability_, report);
+  for (size_t i = 0; i < points.size(); ++i) {
+    points[i].snap = std::move(snaps[i]);
   }
   return points;
 }
@@ -94,6 +150,9 @@ BenchOptions BenchOptions::Parse(int argc, char** argv) {
   if (const char* env = std::getenv("LAZYREP_TXNS")) {
     opt.txns = std::strtoull(env, nullptr, 10);
   }
+  if (const char* env = std::getenv("LAZYREP_JOBS")) {
+    opt.jobs = std::atoi(env);
+  }
   for (int i = 1; i < argc; ++i) {
     const char* a = argv[i];
     if (std::strncmp(a, "--txns=", 7) == 0) {
@@ -104,6 +163,8 @@ BenchOptions BenchOptions::Parse(int argc, char** argv) {
       opt.figure = std::atoi(a + 9);
     } else if (std::strncmp(a, "--seed=", 7) == 0) {
       opt.seed = std::strtoull(a + 7, nullptr, 10);
+    } else if (std::strncmp(a, "--jobs=", 7) == 0) {
+      opt.jobs = std::atoi(a + 7);
     } else if (std::strcmp(a, "--quick") == 0) {
       opt.quick = true;
     } else if (std::strncmp(a, "--protocols=", 12) == 0) {
@@ -118,8 +179,8 @@ BenchOptions BenchOptions::Parse(int argc, char** argv) {
       }
     } else if (std::strcmp(a, "--help") == 0) {
       std::printf(
-          "options: --txns=N --points=N --figure=N --seed=N --quick "
-          "--protocols=[lpo]\n");
+          "options: --txns=N --points=N --figure=N --seed=N --jobs=N "
+          "--quick --protocols=[lpo]\n");
       std::exit(0);
     }
   }

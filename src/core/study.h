@@ -17,12 +17,41 @@ struct StudyPoint {
   MetricsSnapshot snap;
 };
 
+/// Derives the RNG seed of one study point from its identity — study name,
+/// protocol, sweep value, and the study's base seed — via a splitmix64 hash
+/// chain. Because the seed depends only on what the point *is* (never on its
+/// position in the sweep, the set of selected points, or which worker thread
+/// ran it), results are bit-identical under any --jobs level, point ordering,
+/// or sweep subset, and distinct points get decorrelated random streams.
+uint64_t DerivePointSeed(const std::string& study_name, ProtocolKind protocol,
+                         double x, uint64_t base_seed);
+
+/// One fully-specified simulation run: configuration + protocol.
+struct RunSpec {
+  SystemConfig config;
+  ProtocolKind protocol = ProtocolKind::kOptimistic;
+};
+
+/// Runs every spec (each an independent, self-contained System) across
+/// `jobs` worker threads (0 = hardware_concurrency, 1 = inline/serial) and
+/// returns their snapshots in spec order regardless of completion order.
+/// With `check_serializability`, each run records its history and the
+/// snapshot's serializability fields report the per-run MVSG verdict.
+/// `on_done(i, snap)`, when given, fires once per finished spec under an
+/// internal mutex (progress reporting).
+std::vector<MetricsSnapshot> RunAll(
+    const std::vector<RunSpec>& specs, int jobs,
+    bool check_serializability = false,
+    const std::function<void(size_t, const MetricsSnapshot&)>& on_done = {});
+
 /// Runs a parameter sweep for each protocol and collects the paper's
 /// metrics. The benches use one StudyRunner per study (OC-3, OC-1, OC-1*,
 /// vsN) and print the per-figure series from the same collected points.
 class StudyRunner {
  public:
-  /// `make_config` maps a sweep value to a full configuration.
+  /// `make_config` maps a sweep value to a full configuration. It may be
+  /// called concurrently from worker threads and must be a pure function of
+  /// `x` (the bench lambdas only read captured options, which qualifies).
   using ConfigFn = std::function<SystemConfig(double x)>;
 
   StudyRunner(std::string name, ConfigFn make_config);
@@ -30,8 +59,20 @@ class StudyRunner {
   /// Protocols to run (default: all three).
   void set_protocols(std::vector<ProtocolKind> protocols);
 
+  /// Worker threads for Sweep: 0 = hardware_concurrency (the default),
+  /// 1 = today's serial behavior (the sweep runs inline on the caller).
+  void set_jobs(int jobs) { jobs_ = jobs; }
+
+  /// Fleet-wide serializability audit: every point runs with a
+  /// HistoryRecorder attached and its MVSG verdict lands in the point's
+  /// MetricsSnapshot (serializable / history_committed / history_reads).
+  void set_check_serializability(bool on) { check_serializability_ = on; }
+
   /// Runs every (protocol, x) combination. When `verbose`, prints one
-  /// progress line per point to stderr.
+  /// progress line per point to stderr (mutex-guarded; under --jobs > 1 the
+  /// lines appear in completion order). The returned points are always in
+  /// canonical order — protocols in set_protocols order, xs in argument
+  /// order — independent of which worker finished first.
   std::vector<StudyPoint> Sweep(const std::vector<double>& xs,
                                 bool verbose = true);
 
@@ -41,6 +82,8 @@ class StudyRunner {
   std::string name_;
   ConfigFn make_config_;
   std::vector<ProtocolKind> protocols_;
+  int jobs_ = 0;
+  bool check_serializability_ = false;
 };
 
 /// Extracts the y value a figure plots from a measured point.
@@ -56,13 +99,15 @@ void PrintFigure(const std::vector<StudyPoint>& points,
                      ProtocolKind::kOptimistic});
 
 /// Standard sweep-value parser for bench binaries: reads --txns=, --points=,
-/// --figure=, --protocols= and scale overrides from argv/environment
-/// (LAZYREP_TXNS). Shared by all paper benches.
+/// --figure=, --protocols=, --jobs= and scale overrides from
+/// argv/environment (LAZYREP_TXNS, LAZYREP_JOBS). Shared by all paper
+/// benches.
 struct BenchOptions {
   uint64_t txns = 3000;        ///< transactions per point
   int max_points = 0;          ///< 0 = all sweep values
   int figure = 0;              ///< 0 = print every figure of the study
   uint64_t seed = 1;
+  int jobs = 0;                ///< worker threads; 0 = hardware_concurrency
   bool quick = false;          ///< halve the sweep for smoke runs
   std::vector<ProtocolKind> protocols = {ProtocolKind::kLocking,
                                          ProtocolKind::kPessimistic,

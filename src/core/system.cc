@@ -277,6 +277,15 @@ bool System::HasTornReads(const ReadVersions& reads) {
   return false;
 }
 
+bool System::HasInvalidatedReads(db::SiteId origin,
+                                 const ReadVersions& reads) {
+  const db::ItemStore& store = site(origin).store;
+  for (const auto& [item, v] : reads) {
+    if (store.VersionOf(item) != v) return true;  // overwritten since read
+  }
+  return false;
+}
+
 sim::Task<System::ConflictEdges> System::ApplyWrites(db::SiteId s,
                                                      const txn::Transaction& t,
                                                      bool at_origin) {

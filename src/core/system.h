@@ -174,6 +174,17 @@ class System {
   /// Returns true when the read set is torn and the reader must abort.
   bool HasTornReads(const ReadVersions& reads);
 
+  /// Commit-point revalidation for lock-free readers under the graph
+  /// protocols: every version read must still be the *current* version at
+  /// `origin`. The view then equals the origin's store state at one instant
+  /// — a consistent cut of everything installed there — which closes the
+  /// multi-writer anomalies HasTornReads cannot see (reader observes
+  /// post-W2 of one item and pre-W1 of another with W1 serialized before
+  /// W2). Read locks used to pin such writers live until the reader
+  /// committed so the RGtest saw the cycle; without them, revalidate.
+  /// Strictly subsumes HasTornReads when checked at the same instant.
+  bool HasInvalidatedReads(db::SiteId origin, const ReadVersions& reads);
+
   /// Applies `t`'s write set to `s`'s store under the Thomas Write Rule,
   /// charging disk writes, and collects the conflict edges the applies
   /// produce. Locks are the caller's responsibility.

@@ -195,14 +195,23 @@ sim::Process LockingProtocol::Execute(txn::Transaction* t) {
     }
     co_await sys_->ExecuteOpCost(t->origin);
     if (op.type == db::OpType::kRead) {
-      db::Timestamp version = origin.store.Read(op.item, t->id);
+      // Lock-free readers stay out of the completion dependency graph: with
+      // no global guard their stale reads can close a dependency cycle
+      // (reader waits on a read-from writer whose ww-predecessor waits on
+      // the reader) and deadlock the completion fixpoint. They read the
+      // version unregistered and record no wr edge — the MVSG recorder
+      // still sees the read, so the lost guarantee stays measurable.
+      db::Timestamp version = lock_free_reads
+                                  ? origin.store.VersionOf(op.item)
+                                  : origin.store.Read(op.item, t->id);
       if (sys_->history() != nullptr) {
         sys_->history()->RecordRead(t->id, op.item, version);
       }
-      if (version.txn != db::kNoTxn) {
+      if (lock_free_reads) {
+        read_versions.emplace_back(op.item, version);
+      } else if (version.txn != db::kNoTxn) {
         st->edges.emplace_back(t->id, version.txn);  // wr: writer precedes us
       }
-      if (lock_free_reads) read_versions.emplace_back(op.item, version);
     }
   }
 

@@ -101,9 +101,11 @@ sim::Process OptimisticProtocol::Execute(txn::Transaction* t) {
     }
   }
 
-  // Two-version read validation: abort on a torn read set (the check the
-  // forsaken read locks used to provide).
-  if (lock_free_reads && sys_->HasTornReads(read_versions)) {
+  // Two-version read validation: abort an already-inconsistent read set
+  // before paying the graph round trip (the check the forsaken read locks
+  // used to provide); rechecked at the commit point below.
+  if (lock_free_reads &&
+      sys_->HasInvalidatedReads(t->origin, read_versions)) {
     origin.locks.ReleaseAll(t->id);
     sys_->NoteAborted(t, txn::AbortCause::kTornRead);
     co_return;
@@ -161,6 +163,24 @@ sim::Process OptimisticProtocol::Execute(txn::Transaction* t) {
       }
     };
     sys_->sim().Spawn(Remover::Run(sys_, t->id));
+    co_return;
+  }
+  // Two-version commit-point revalidation: the graph round trip left the
+  // reader's versions unpinned (no read locks), so an install landing
+  // meanwhile can turn the view into an inconsistent multi-writer cut the
+  // RGtest never saw. Abort and tell the graph site to drop us.
+  if (lock_free_reads &&
+      sys_->HasInvalidatedReads(t->origin, read_versions)) {
+    origin.locks.ReleaseAll(t->id);
+    sys_->NoteAborted(t, txn::AbortCause::kTornRead);
+    struct Remover {
+      static sim::Process Run(core::System* sys, db::SiteId origin,
+                              db::TxnId id) {
+        co_await sys->SendCtrlAssured(origin, sys->graph_endpoint());
+        co_await sys->graph_site()->HandleRemove(id);
+      }
+    };
+    sys_->sim().Spawn(Remover::Run(sys_, t->origin, t->id));
     co_return;
   }
   if (t->is_update) {

@@ -166,8 +166,11 @@ sim::Process PessimisticProtocol::Execute(txn::Transaction* t) {
     }
   }
 
-  // Two-version read validation (§4.3 exploration): abort on torn reads.
-  if (lock_free_reads && sys_->HasTornReads(read_versions)) {
+  // Two-version read validation (§4.3 exploration): commit-point
+  // revalidation — every version read must still be current here, else the
+  // unpinned view may mix writers into an inconsistent cut.
+  if (lock_free_reads &&
+      sys_->HasInvalidatedReads(t->origin, read_versions)) {
     AbortLocal(t, st, /*notify_graph=*/true, txn::AbortCause::kTornRead);
     co_return;
   }

@@ -283,17 +283,25 @@ TEST(ContentionModelTest, WaitProbabilityBounded) {
 // ---------------------------------------------------------------------------
 
 TEST(BenchOptionsTest, ParsesFlags) {
-  const char* argv[] = {"bench",          "--txns=1234", "--points=3",
-                        "--figure=7",     "--seed=9",    "--protocols=lo"};
+  const char* argv[] = {"bench",      "--txns=1234", "--points=3",
+                        "--figure=7", "--seed=9",    "--protocols=lo",
+                        "--jobs=4"};
   BenchOptions opt =
-      BenchOptions::Parse(6, const_cast<char**>(argv));
+      BenchOptions::Parse(7, const_cast<char**>(argv));
   EXPECT_EQ(opt.txns, 1234u);
   EXPECT_EQ(opt.max_points, 3);
   EXPECT_EQ(opt.figure, 7);
   EXPECT_EQ(opt.seed, 9u);
+  EXPECT_EQ(opt.jobs, 4);
   ASSERT_EQ(opt.protocols.size(), 2u);
   EXPECT_EQ(opt.protocols[0], ProtocolKind::kLocking);
   EXPECT_EQ(opt.protocols[1], ProtocolKind::kOptimistic);
+}
+
+TEST(BenchOptionsTest, JobsDefaultsToAllCores) {
+  const char* argv[] = {"bench"};
+  BenchOptions opt = BenchOptions::Parse(1, const_cast<char**>(argv));
+  EXPECT_EQ(opt.jobs, 0);  // 0 = hardware_concurrency at sweep time
 }
 
 TEST(BenchOptionsTest, ThinKeepsEndpoints) {

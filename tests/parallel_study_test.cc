@@ -1,0 +1,213 @@
+// The determinism contract of the parallel study runner: StudyPoint series
+// are byte-identical regardless of --jobs level, point ordering, or which
+// subset of a sweep is selected — because each point's seed is derived from
+// its identity, every simulation is self-contained, and results are
+// collected in canonical order. Plus unit coverage of the thread-pool
+// executor itself.
+
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/parallel.h"
+#include "core/study.h"
+
+namespace lazyrep::core {
+namespace {
+
+SystemConfig TinyConfig(double tps) {
+  SystemConfig c;
+  c.num_sites = 3;
+  c.workload.items_per_site = 10;
+  c.network.latency = 0.002;
+  c.tps = tps;
+  c.total_txns = 250;
+  c.warmup_per_site = 2;
+  c.seed = 9;
+  c.Normalize();
+  return c;
+}
+
+StudyRunner MakeRunner() {
+  return StudyRunner("par-test", [](double tps) { return TinyConfig(tps); });
+}
+
+/// Renders every numeric field a figure could plot with %a (hex floats), so
+/// equality of fingerprints is bit-equality of the results, not a rounded
+/// approximation.
+std::string Fingerprint(const StudyPoint& p) {
+  char buf[768];
+  std::snprintf(
+      buf, sizeof(buf),
+      "%a|%d|%llu|%llu|%llu|%llu|%a|%a|%a|%a|%a|%a|%a|%a|%llu|%llu|%llu\n",
+      p.x, static_cast<int>(p.protocol), (unsigned long long)p.snap.submitted,
+      (unsigned long long)p.snap.committed,
+      (unsigned long long)p.snap.completed, (unsigned long long)p.snap.aborted,
+      p.snap.completed_tps, p.snap.abort_rate, p.snap.duration,
+      p.snap.read_only_response.Mean(), p.snap.update_response.Mean(),
+      p.snap.commit_to_complete.Mean(), p.snap.graph_cpu_utilization,
+      p.snap.mean_disk_utilization, (unsigned long long)p.snap.lock_waits,
+      (unsigned long long)p.snap.graph_tests,
+      (unsigned long long)p.snap.in_flight_at_end);
+  return buf;
+}
+
+std::string FingerprintAll(const std::vector<StudyPoint>& points) {
+  std::string out;
+  for (const StudyPoint& p : points) out += Fingerprint(p);
+  return out;
+}
+
+/// Sorts points into (protocol, x) order, independent of sweep ordering.
+void SortCanonical(std::vector<StudyPoint>* points) {
+  std::stable_sort(points->begin(), points->end(),
+                   [](const StudyPoint& a, const StudyPoint& b) {
+                     if (a.protocol != b.protocol) {
+                       return a.protocol < b.protocol;
+                     }
+                     return a.x < b.x;
+                   });
+}
+
+TEST(ParallelStudyTest, JobsLevelsProduceByteIdenticalSeries) {
+  StudyRunner serial = MakeRunner();
+  serial.set_jobs(1);
+  std::vector<StudyPoint> s1 = serial.Sweep({30, 60, 90}, /*verbose=*/false);
+
+  StudyRunner parallel = MakeRunner();
+  parallel.set_jobs(4);
+  std::vector<StudyPoint> s4 = parallel.Sweep({30, 60, 90}, false);
+
+  ASSERT_EQ(s1.size(), 9u);  // 3 protocols x 3 loads
+  EXPECT_EQ(FingerprintAll(s1), FingerprintAll(s4));
+}
+
+TEST(ParallelStudyTest, ShuffledPointOrderIsByteIdentical) {
+  StudyRunner ordered = MakeRunner();
+  ordered.set_jobs(4);
+  std::vector<StudyPoint> a = ordered.Sweep({30, 60, 90}, false);
+
+  StudyRunner shuffled = MakeRunner();
+  shuffled.set_jobs(4);
+  std::vector<StudyPoint> b = shuffled.Sweep({90, 30, 60}, false);
+
+  SortCanonical(&a);
+  SortCanonical(&b);
+  EXPECT_EQ(FingerprintAll(a), FingerprintAll(b));
+}
+
+TEST(ParallelStudyTest, SubsetSelectionPreservesPointResults) {
+  StudyRunner full = MakeRunner();
+  full.set_jobs(2);
+  std::vector<StudyPoint> all = full.Sweep({30, 60, 90}, false);
+
+  StudyRunner subset = MakeRunner();
+  subset.set_jobs(2);
+  std::vector<StudyPoint> one = subset.Sweep({60}, false);
+
+  // A point's result depends only on what it is, never on which other
+  // points ran beside it.
+  ASSERT_EQ(one.size(), 3u);
+  for (const StudyPoint& p : one) {
+    bool matched = false;
+    for (const StudyPoint& q : all) {
+      if (q.protocol == p.protocol && q.x == p.x) {
+        EXPECT_EQ(Fingerprint(q), Fingerprint(p));
+        matched = true;
+      }
+    }
+    EXPECT_TRUE(matched);
+  }
+}
+
+TEST(ParallelStudyTest, PointsReturnedInCanonicalOrder) {
+  StudyRunner runner = MakeRunner();
+  runner.set_jobs(4);
+  runner.set_protocols({ProtocolKind::kOptimistic, ProtocolKind::kLocking});
+  std::vector<StudyPoint> points = runner.Sweep({60, 30}, false);
+  ASSERT_EQ(points.size(), 4u);
+  // Protocol-major in set_protocols order, xs in argument order — no matter
+  // which worker finished first.
+  EXPECT_EQ(points[0].protocol, ProtocolKind::kOptimistic);
+  EXPECT_EQ(points[0].x, 60);
+  EXPECT_EQ(points[1].protocol, ProtocolKind::kOptimistic);
+  EXPECT_EQ(points[1].x, 30);
+  EXPECT_EQ(points[2].protocol, ProtocolKind::kLocking);
+  EXPECT_EQ(points[2].x, 60);
+  EXPECT_EQ(points[3].protocol, ProtocolKind::kLocking);
+  EXPECT_EQ(points[3].x, 30);
+}
+
+TEST(ParallelStudyTest, FleetWideSerializabilityAudit) {
+  StudyRunner runner = MakeRunner();
+  runner.set_jobs(4);
+  runner.set_check_serializability(true);
+  std::vector<StudyPoint> points = runner.Sweep({40, 80}, false);
+  ASSERT_EQ(points.size(), 6u);
+  for (const StudyPoint& p : points) {
+    EXPECT_EQ(p.snap.serializable, 1)
+        << ProtocolKindName(p.protocol) << " x=" << p.x << ": "
+        << p.snap.serializability_why;
+    EXPECT_GT(p.snap.history_committed, 0u);
+    EXPECT_GT(p.snap.history_reads, 0u);
+  }
+}
+
+TEST(ParallelStudyTest, AuditOffLeavesSnapshotsUnchecked) {
+  StudyRunner runner = MakeRunner();
+  runner.set_jobs(2);
+  runner.set_protocols({ProtocolKind::kOptimistic});
+  std::vector<StudyPoint> points = runner.Sweep({40}, false);
+  ASSERT_EQ(points.size(), 1u);
+  EXPECT_EQ(points[0].snap.serializable, -1);
+  EXPECT_EQ(points[0].snap.history_committed, 0u);
+}
+
+TEST(ThreadPoolTest, RunsEverySubmittedTask) {
+  ThreadPool pool(8);
+  EXPECT_EQ(pool.threads(), 8);
+  std::atomic<int> count{0};
+  for (int i = 0; i < 1000; ++i) {
+    pool.Submit([&count] { count.fetch_add(1, std::memory_order_relaxed); });
+  }
+  pool.Wait();
+  EXPECT_EQ(count.load(), 1000);
+  // The pool is reusable after a Wait.
+  for (int i = 0; i < 100; ++i) {
+    pool.Submit([&count] { count.fetch_add(1, std::memory_order_relaxed); });
+  }
+  pool.Wait();
+  EXPECT_EQ(count.load(), 1100);
+}
+
+TEST(ThreadPoolTest, ClampsThreadCountToAtLeastOne) {
+  ThreadPool pool(0);
+  EXPECT_EQ(pool.threads(), 1);
+  std::atomic<int> count{0};
+  pool.Submit([&count] { ++count; });
+  pool.Wait();
+  EXPECT_EQ(count.load(), 1);
+}
+
+TEST(ParallelForTest, CoversEveryIndexExactlyOnce) {
+  // Each slot is written by exactly one task, so no synchronization needed.
+  std::vector<int> hits(257, 0);
+  ParallelFor(8, hits.size(), [&hits](size_t i) { hits[i]++; });
+  for (size_t i = 0; i < hits.size(); ++i) {
+    EXPECT_EQ(hits[i], 1) << "index " << i;
+  }
+}
+
+TEST(ParallelForTest, SingleJobRunsInIndexOrder) {
+  std::vector<size_t> order;
+  ParallelFor(1, 5, [&order](size_t i) { order.push_back(i); });
+  ASSERT_EQ(order.size(), 5u);
+  for (size_t i = 0; i < order.size(); ++i) EXPECT_EQ(order[i], i);
+}
+
+}  // namespace
+}  // namespace lazyrep::core

@@ -18,6 +18,7 @@
 
 #include "core/config.h"
 #include "core/history.h"
+#include "core/study.h"
 #include "core/system.h"
 
 namespace lazyrep::core {
@@ -194,6 +195,47 @@ INSTANTIATE_TEST_SUITE_P(
                       ProtocolKind::kOptimistic),
     [](const ::testing::TestParamInfo<ProtocolKind>& info) {
       return ProtocolKindName(info.param);
+    });
+
+// P1 through the parallel study runner: the fleet-wide HistoryRecorder flag
+// attaches a recorder to *every* point of a sweep (not just single runs) and
+// each point's one-copy-serializability verdict lands in its snapshot. Runs
+// with 4 worker threads so the audit also exercises concurrent recorders.
+class ParallelSweepAudit : public ::testing::TestWithParam<ConfigClass> {};
+
+TEST_P(ParallelSweepAudit, P1HoldsAtEveryPointOfAParallelSweep) {
+  ConfigClass cls = GetParam();
+  StudyRunner runner("prop-audit", [cls](double tps) {
+    SystemConfig c = MakeConfig(cls, 11);
+    c.tps = tps;
+    c.Normalize();
+    return c;
+  });
+  // Locking is out of scope for the relaxed/two-version classes (see
+  // InvariantsHold); the graph protocols cover every class.
+  if (cls == ConfigClass::kRelaxedOwner || cls == ConfigClass::kTwoVersion) {
+    runner.set_protocols({ProtocolKind::kPessimistic,
+                          ProtocolKind::kOptimistic});
+  }
+  runner.set_jobs(4);
+  runner.set_check_serializability(true);
+  std::vector<StudyPoint> points = runner.Sweep({60, 120}, /*verbose=*/false);
+  ASSERT_FALSE(points.empty());
+  for (const StudyPoint& p : points) {
+    EXPECT_EQ(p.snap.serializable, 1)
+        << ProtocolKindName(p.protocol) << " x=" << p.x << ": "
+        << p.snap.serializability_why;
+    EXPECT_GT(p.snap.history_committed, 0u);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllClasses, ParallelSweepAudit,
+    ::testing::Values(ConfigClass::kBaseline, ConfigClass::kHotSpot,
+                      ConfigClass::kSlowNetwork, ConfigClass::kPartialReplica,
+                      ConfigClass::kRelaxedOwner, ConfigClass::kTwoVersion),
+    [](const ::testing::TestParamInfo<ConfigClass>& info) {
+      return ConfigClassName(info.param);
     });
 
 // Monotone stress: raising offered load must not break the invariants and

@@ -19,7 +19,7 @@
 #include <vector>
 
 #include "core/config.h"
-#include "core/history.h"
+#include "core/study.h"
 #include "core/system.h"
 
 using namespace lazyrep;
@@ -52,6 +52,8 @@ void PrintHelp() {
       "output\n"
       "  --csv=FILE                      append a machine-readable row\n"
       "  --check-serializability         run the MVSG checker (slower)\n"
+      "  --jobs=N                        run --protocol=all runs on N worker\n"
+      "                                  threads (0 = all cores; default 1)\n"
       "  --quiet                         suppress the human-readable block\n");
 }
 
@@ -110,6 +112,7 @@ int main(int argc, char** argv) {
   std::string csv_path;
   bool check_serializability = false;
   bool quiet = false;
+  int jobs = 1;  // serial by default; --jobs=0 means all cores
 
   for (int i = 1; i < argc; ++i) {
     const char* a = argv[i];
@@ -211,6 +214,9 @@ int main(int argc, char** argv) {
       config.fault.rto_initial = std::atof(v);
     } else if (FlagValue(a, "--csv", &v)) {
       csv_path = v;
+    } else if (FlagValue(a, "--jobs", &v)) {
+      jobs = std::atoi(v);
+      if (jobs <= 0) jobs = 0;  // 0 = hardware_concurrency
     } else if (std::strcmp(a, "--check-serializability") == 0) {
       check_serializability = true;
     } else if (std::strcmp(a, "--quiet") == 0) {
@@ -222,16 +228,20 @@ int main(int argc, char** argv) {
   }
   config.Normalize();
 
+  std::vector<core::RunSpec> specs;
+  specs.reserve(protocols.size());
   for (core::ProtocolKind kind : protocols) {
-    core::System system(config, kind);
-    core::HistoryRecorder history;
-    if (check_serializability) system.set_history(&history);
-    core::MetricsSnapshot m = system.Run();
-    int serializable = -1;  // -1 = not checked
-    std::string why;
-    if (check_serializability) {
-      serializable = history.CheckOneCopySerializable(&why) ? 1 : 0;
-    }
+    specs.push_back({config, kind});
+  }
+  std::vector<core::MetricsSnapshot> snaps =
+      core::RunAll(specs, jobs, check_serializability);
+
+  int exit_code = 0;
+  for (size_t i = 0; i < specs.size(); ++i) {
+    core::ProtocolKind kind = specs[i].protocol;
+    const core::MetricsSnapshot& m = snaps[i];
+    int serializable = m.serializable;  // -1 = not checked
+    const std::string& why = m.serializability_why;
     if (!quiet) {
       std::printf("=== %s | %d sites | %d items | %.0f TPS offered ===\n",
                   core::ProtocolKindName(kind), config.num_sites,
@@ -242,11 +252,9 @@ int main(int argc, char** argv) {
                   m.read_only_quantiles.P50(), m.read_only_quantiles.P95(),
                   m.read_only_quantiles.P99(), m.update_quantiles.P50(),
                   m.update_quantiles.P95(), m.update_quantiles.P99());
+      // The serializability verdict, when checked, is part of ToString().
       if (serializable == 0) {
         std::printf("SERIALIZABILITY VIOLATION: %s\n", why.c_str());
-      } else if (serializable == 1) {
-        std::printf("one-copy serializable: yes (%zu committed checked)\n",
-                    history.committed_count());
       }
       std::printf("\n");
     }
@@ -254,7 +262,7 @@ int main(int argc, char** argv) {
       AppendCsv(csv_path, core::ProtocolKindName(kind), config, m,
                 serializable);
     }
-    if (serializable == 0) return 2;
+    if (serializable == 0) exit_code = 2;
   }
-  return 0;
+  return exit_code;
 }
