@@ -15,6 +15,8 @@ const char* ProtocolKindName(ProtocolKind kind) {
       return "Pessimistic";
     case ProtocolKind::kOptimistic:
       return "Optimistic";
+    case ProtocolKind::kEager:
+      return "Eager";
   }
   return "unknown";
 }

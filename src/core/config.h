@@ -17,6 +17,7 @@ enum class ProtocolKind : uint8_t {
   kLocking,      ///< global locking [Gray et al. 96 / §2.2]
   kPessimistic,  ///< replication graph, per-operation RGtest [§2.4]
   kOptimistic,   ///< replication graph, commit-time RGtest [§2.5]
+  kEager,        ///< eager baseline: strict 2PL at all replicas + 2PC [§1]
 };
 
 const char* ProtocolKindName(ProtocolKind kind);
@@ -81,6 +82,21 @@ struct SystemConfig {
   /// their latency; operations still execute strictly in order, each after
   /// its own control response. False = fully sequential round trips.
   bool pipelined_dispatch = true;
+
+  // -- eager baseline (2PC + strict 2PL; used only by ProtocolKind::kEager) ----
+  /// Distributed-deadlock resolution: after a replica-lock round times out,
+  /// retry the denied sites up to this many more times before aborting.
+  int eager_lock_retries = 2;
+  /// Base of the randomized exponential backoff between lock-round retries:
+  /// the k-th retry sleeps Uniform(0, base * 2^k) seconds.
+  double eager_backoff_base = 0.05;
+  /// How long the 2PC coordinator waits for unanimous YES votes before
+  /// presuming abort. 0 = derive from timeout and network latency.
+  double eager_vote_timeout = 0;
+  double EagerVoteTimeout() const {
+    return eager_vote_timeout > 0 ? eager_vote_timeout
+                                  : timeout + 4 * network.latency;
+  }
 
   // -- run control -------------------------------------------------------------
   /// Transactions submitted per run (the paper used 100,000).

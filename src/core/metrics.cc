@@ -63,6 +63,23 @@ std::string MetricsSnapshot::ToString() const {
     }
   }
 
+  // Eager 2PC line appears only under the eager protocol, so the lazy
+  // protocols print exactly what they always printed.
+  if (eager_lock_rounds || eager_prepares) {
+    std::snprintf(buf, sizeof(buf),
+                  "\neager: lock-rounds %llu (retries %llu) prepares %llu "
+                  "vote-timeouts %llu | in-doubt %.4fs ±%.4f max %.4fs "
+                  "(n=%llu)",
+                  (unsigned long long)eager_lock_rounds,
+                  (unsigned long long)eager_lock_round_retries,
+                  (unsigned long long)eager_prepares,
+                  (unsigned long long)eager_vote_timeouts,
+                  eager_in_doubt.Mean(), eager_in_doubt.HalfWidth95(),
+                  eager_in_doubt.Max(),
+                  (unsigned long long)eager_in_doubt.Count());
+    out += buf;
+  }
+
   // Audit line appears only when a HistoryRecorder was attached, so plain
   // runs print exactly what they always printed.
   if (serializable >= 0) {

@@ -85,6 +85,21 @@ struct MetricsSnapshot {
   /// Availability of the graph site endpoint (1 for locking).
   double graph_availability = 1.0;
 
+  // -- eager 2PC (nonzero only under the eager protocol) ----------------------
+
+  /// Replica-X-lock acquisition rounds started (one per written item,
+  /// counting retries separately).
+  uint64_t eager_lock_rounds = 0;
+  /// How many of those rounds were backoff retries after a denied round.
+  uint64_t eager_lock_round_retries = 0;
+  /// PREPARE phases started (one per update transaction reaching commit).
+  uint64_t eager_prepares = 0;
+  /// Coordinator vote-collection timeouts (presumed abort).
+  uint64_t eager_vote_timeouts = 0;
+  /// Participant in-doubt windows: voted YES -> learned the outcome, i.e.
+  /// time spent blocked holding X locks on behalf of a remote coordinator.
+  sim::TallyStat eager_in_doubt;
+
   // -- serializability audit (filled only when history recording is on) ------
 
   /// MVSG verdict: -1 = not checked, 1 = one-copy serializable, 0 = a cycle
@@ -149,6 +164,26 @@ class Metrics {
     } else {
       ++snap_.completed_read_only;
     }
+  }
+
+  // -- eager 2PC hooks (called by EagerProtocol only) ------------------------
+
+  void OnEagerLockRound(bool measured, bool retry) {
+    if (!measured) return;
+    ++snap_.eager_lock_rounds;
+    if (retry) ++snap_.eager_lock_round_retries;
+  }
+
+  void OnEagerPrepare(bool measured) {
+    if (measured) ++snap_.eager_prepares;
+  }
+
+  void OnEagerVoteTimeout(bool measured) {
+    if (measured) ++snap_.eager_vote_timeouts;
+  }
+
+  void OnEagerInDoubt(bool measured, double dt) {
+    if (measured) snap_.eager_in_doubt.Add(dt);
   }
 
   /// The snapshot under construction; System fills the utilization and

@@ -169,6 +169,7 @@ BenchOptions BenchOptions::Parse(int argc, char** argv) {
       opt.quick = true;
     } else if (std::strncmp(a, "--protocols=", 12) == 0) {
       opt.protocols.clear();
+      opt.protocols_set = true;
       const char* s = a + 12;
       if (std::strchr(s, 'l')) opt.protocols.push_back(ProtocolKind::kLocking);
       if (std::strchr(s, 'p')) {
@@ -177,10 +178,13 @@ BenchOptions BenchOptions::Parse(int argc, char** argv) {
       if (std::strchr(s, 'o')) {
         opt.protocols.push_back(ProtocolKind::kOptimistic);
       }
+      if (std::strchr(s, 'e')) {
+        opt.protocols.push_back(ProtocolKind::kEager);
+      }
     } else if (std::strcmp(a, "--help") == 0) {
       std::printf(
           "options: --txns=N --points=N --figure=N --seed=N --jobs=N "
-          "--quick --protocols=[lpo]\n");
+          "--quick --protocols=[lpoe]\n");
       std::exit(0);
     }
   }

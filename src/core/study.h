@@ -112,6 +112,9 @@ struct BenchOptions {
   std::vector<ProtocolKind> protocols = {ProtocolKind::kLocking,
                                          ProtocolKind::kPessimistic,
                                          ProtocolKind::kOptimistic};
+  /// True when --protocols= was given explicitly; benches with a different
+  /// default set (the four-way eager studies) only apply theirs when false.
+  bool protocols_set = false;
 
   static BenchOptions Parse(int argc, char** argv);
   /// Thins `xs` to at most max_points (keeping endpoints) and applies quick.

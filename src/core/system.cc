@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <utility>
 
+#include "protocols/eager/eager_protocol.h"
 #include "protocols/locking_protocol.h"
 #include "protocols/optimistic_protocol.h"
 #include "protocols/pessimistic_protocol.h"
@@ -27,7 +28,8 @@ System::System(const SystemConfig& config, ProtocolKind kind)
   // One extra endpoint for the dedicated graph site.
   network_ = std::make_unique<net::StarNetwork>(&sim_, config_.num_sites + 1,
                                                 config_.network);
-  if (kind_ != ProtocolKind::kLocking) {
+  if (kind_ == ProtocolKind::kPessimistic ||
+      kind_ == ProtocolKind::kOptimistic) {
     graph_cpu_ = std::make_unique<hw::Cpu>(&sim_, "graph_cpu",
                                            config_.cpu_mips);
     rgraph_ = std::make_unique<rg::ReplicationGraph>(
@@ -40,7 +42,8 @@ System::System(const SystemConfig& config, ProtocolKind kind)
     graph_site_ = std::make_unique<rg::GraphSite>(&sim_, graph_cpu_.get(),
                                                   rgraph_.get(), config_.graph);
   }
-  tracker_.set_deferred_cascade(kind_ == ProtocolKind::kLocking);
+  tracker_.set_deferred_cascade(kind_ == ProtocolKind::kLocking ||
+                                kind_ == ProtocolKind::kEager);
   tracker_.set_on_completed([this](db::TxnId id) { OnTrackerCompleted(id); });
 
   if (config_.fault.enabled()) {
@@ -71,6 +74,9 @@ System::System(const SystemConfig& config, ProtocolKind kind)
       break;
     case ProtocolKind::kOptimistic:
       protocol_ = std::make_unique<proto::OptimisticProtocol>(this);
+      break;
+    case ProtocolKind::kEager:
+      protocol_ = std::make_unique<proto::EagerProtocol>(this);
       break;
   }
 
@@ -234,6 +240,14 @@ sim::Task<void> System::SendPayloadAssured(db::SiteId from, db::SiteId to,
   LAZYREP_CHECK(channel_ != nullptr);  // fault-mode-only path
   co_await site(from).cpu.Execute(config_.message_instr);
   co_await channel_->Send(from, to, bytes, fault::kRetryForever);
+}
+
+sim::Task<bool> System::SendPayloadReliable(db::SiteId from, db::SiteId to,
+                                            size_t bytes) {
+  LAZYREP_CHECK(channel_ != nullptr);  // fault-mode-only path
+  co_await site(from).cpu.Execute(config_.message_instr);
+  co_return co_await channel_->Send(from, to, bytes,
+                                    config_.fault.max_retries);
 }
 
 void System::DeliverEdges(const ConflictEdges& edges) {

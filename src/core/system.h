@@ -52,9 +52,9 @@ struct Site {
 };
 
 /// The complete simulated system of §3: database sites joined by an ATM star
-/// network, a dedicated replication-graph site (unused by the locking
-/// protocol), per-site open-loop transaction generators, and one of the three
-/// protocols. One System instance runs one study point.
+/// network, a dedicated replication-graph site (unused by the locking and
+/// eager protocols), per-site open-loop transaction generators, and one of
+/// the protocols. One System instance runs one study point.
 class System {
  public:
   System(const SystemConfig& config, ProtocolKind kind);
@@ -74,7 +74,7 @@ class System {
   int num_sites() const { return config_.num_sites; }
   net::StarNetwork& network() { return *network_; }
   db::CompletionTracker& tracker() { return tracker_; }
-  /// Null when running the locking protocol.
+  /// Null when running the locking or eager protocol.
   rg::GraphSite* graph_site() { return graph_site_.get(); }
   /// The graph site's network endpoint index.
   db::SiteId graph_endpoint() const {
@@ -148,6 +148,13 @@ class System {
   /// CPU here; the receiver's handling cost is the installer's business.
   sim::Task<void> SendPayloadAssured(db::SiteId from, db::SiteId to,
                                      size_t bytes);
+
+  /// Bulk payload with the capped retry budget (eager PREPARE): resolves
+  /// true exactly when the receiver got the payload, false when the budget
+  /// ran out. Fault-mode only; charges send CPU, receiver handling is the
+  /// caller's business (symmetric with SendPayloadAssured).
+  sim::Task<bool> SendPayloadReliable(db::SiteId from, db::SiteId to,
+                                      size_t bytes);
 
   /// Conflict edges (dependent, predecessor) discovered at a site, delivered
   /// to the completion tracker when the carrying message arrives.

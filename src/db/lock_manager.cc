@@ -18,7 +18,7 @@ bool LockManager::CompatibleWithHolders(const ItemLock& lock, TxnId txn,
 void LockManager::AddHolder(ItemLock* lock, TxnId txn, LockMode mode) {
   for (auto& [holder, held_mode] : lock->holders) {
     if (holder == txn) {
-      if (mode == LockMode::kUpdate) held_mode = LockMode::kUpdate;
+      if (LockStrength(mode) > LockStrength(held_mode)) held_mode = mode;
       return;
     }
   }
@@ -35,12 +35,12 @@ sim::Task<sim::WaitStatus> LockManager::Acquire(TxnId txn, ItemId item,
   for (const auto& [holder, held_mode] : lock.holders) {
     if (holder != txn) continue;
     holds_any = true;
-    if (held_mode == LockMode::kUpdate || mode == LockMode::kShared) {
+    if (LockStrength(held_mode) >= LockStrength(mode)) {
       ++grants_;
       co_return sim::WaitStatus::kSignaled;
     }
   }
-  bool is_upgrade = holds_any;  // holds kShared, wants kUpdate
+  bool is_upgrade = holds_any;  // holds a weaker mode, wants a stronger one
 
   // Immediate grant: compatible with holders, and either an upgrade (which
   // jumps the queue) or no earlier waiter pending (FIFO fairness).
@@ -149,7 +149,7 @@ bool LockManager::Holds(TxnId txn, ItemId item, LockMode mode) const {
   if (it == locks_.end()) return false;
   for (const auto& [holder, held_mode] : it->second.holders) {
     if (holder != txn) continue;
-    return held_mode == LockMode::kUpdate || mode == LockMode::kShared;
+    return LockStrength(held_mode) >= LockStrength(mode);
   }
   return false;
 }

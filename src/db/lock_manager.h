@@ -17,19 +17,27 @@ namespace lazyrep::db {
 /// Lock modes of the local (and, in the locking protocol, primary-copy)
 /// concurrency control.
 ///
-/// All three protocols synchronize ww conflicts with the Thomas Write Rule,
+/// The lazy protocols synchronize ww conflicts with the Thomas Write Rule,
 /// so two writers never block each other: kUpdate is compatible with kUpdate
 /// but conflicts with kShared. This matches §2.2 ("read and update
-/// operations conflict") and §2.3.1 (no VS merge on ww).
+/// operations conflict") and §2.3.1 (no VS merge on ww). The eager baseline
+/// instead serializes writers the textbook way with kExclusive, which
+/// conflicts with every mode including itself.
 enum class LockMode : uint8_t {
-  kShared,  ///< read lock
-  kUpdate,  ///< write lock (TWR-synchronized against other writers)
+  kShared,     ///< read lock
+  kUpdate,     ///< write lock (TWR-synchronized against other writers)
+  kExclusive,  ///< write lock that excludes everything (eager strict 2PL)
 };
+
+/// Total strength order kShared < kUpdate < kExclusive: a held mode covers
+/// any request of equal or lesser strength by the same transaction.
+inline int LockStrength(LockMode mode) { return static_cast<int>(mode); }
 
 /// Returns true when a `requested` lock may coexist with a `held` lock of
 /// another transaction.
 inline bool LocksCompatible(LockMode requested, LockMode held) {
-  return requested == held;  // S-S and U-U coexist; S-U conflicts
+  // S-S and U-U coexist; S-U conflicts; X conflicts with everything.
+  return requested == held && requested != LockMode::kExclusive;
 }
 
 /// A two-phase-locking lock manager with FIFO queuing and timeout-based
@@ -46,8 +54,8 @@ class LockManager {
 
   /// Acquires `mode` on `item` for `txn`, waiting at most `timeout` seconds.
   /// Returns kSignaled on grant, kTimeout on deadlock-timeout. Re-acquiring
-  /// an already-held equal-or-weaker mode succeeds immediately; holding
-  /// kShared and requesting kUpdate performs an upgrade (upgrades are
+  /// an already-held equal-or-weaker mode succeeds immediately; requesting a
+  /// stronger mode than the one held performs an upgrade (upgrades are
   /// evaluated against current holders only, jumping the FIFO queue, so an
   /// upgrade cannot deadlock against ordinary queued requests).
   sim::Task<sim::WaitStatus> Acquire(TxnId txn, ItemId item, LockMode mode,

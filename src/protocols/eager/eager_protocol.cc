@@ -1,0 +1,408 @@
+#include "protocols/eager/eager_protocol.h"
+
+#include <algorithm>
+#include <functional>
+#include <utility>
+
+#include "sim/check.h"
+
+namespace lazyrep::proto {
+
+using core::System;
+using db::LockMode;
+using sim::WaitStatus;
+
+void EagerProtocol::OnRegister(txn::Transaction* t) {
+  // Updates commit at the origin and at every replica target (each
+  // participant reports its subtransaction after the COMMIT-ACK lands at the
+  // origin, so completion timing covers the full ack round). Read-only
+  // transactions are entirely local.
+  int remaining = 1;
+  if (t->is_update) {
+    remaining += static_cast<int>(sys_->ReplicaTargets(*t, t->origin).size());
+  }
+  sys_->tracker().SetRemainingCommits(t->id, remaining);
+}
+
+sim::Process EagerProtocol::LockLeg(txn::Transaction* t, db::SiteId dst,
+                                    db::ItemId item, StatePtr st,
+                                    RoundState* round, bool via_multicast) {
+  const core::SystemConfig& cfg = sys_->config();
+  if (via_multicast) {
+    // Multicast legs charge their own receive; the reliable path below
+    // charges it inside SendCtrlReliable.
+    co_await sys_->site(dst).cpu.Execute(cfg.message_instr);
+  } else if (!co_await sys_->SendCtrlReliable(t->origin, dst)) {
+    ++round->unavailable;
+    round->done.Arrive();
+    co_return;
+  }
+  WaitStatus s = co_await sys_->site(dst).locks.Acquire(
+      t->id, item, LockMode::kExclusive, cfg.timeout);
+  if (s == WaitStatus::kSignaled) {
+    // Record the grant before the reply leg: if the grant message never
+    // arrives, the abort path still knows to release this lock.
+    st->granted_remote.emplace_back(dst, item);
+    if (via_multicast) {
+      co_await sys_->SendCtrl(dst, t->origin);
+    } else if (!co_await sys_->SendCtrlReliable(dst, t->origin)) {
+      // The coordinator never learned of the grant: treat the site as
+      // unreachable (the recorded grant is released on abort).
+      ++round->unavailable;
+    }
+  } else {
+    ++round->denied;
+    if (via_multicast) {
+      co_await sys_->SendCtrl(dst, t->origin);  // deny reply
+    } else {
+      co_await sys_->SendCtrlReliable(dst, t->origin);  // deny, best effort
+    }
+  }
+  round->done.Arrive();
+}
+
+sim::Task<bool> EagerProtocol::AcquireReplicaLocks(txn::Transaction* t,
+                                                   db::ItemId item,
+                                                   StatePtr st) {
+  const core::SystemConfig& cfg = sys_->config();
+  for (int attempt = 0;; ++attempt) {
+    // Sites still missing the X lock (earlier rounds' grants are kept across
+    // retries — only the denied sites are re-requested).
+    std::vector<db::SiteId> targets;
+    for (int s = 0; s < cfg.num_sites; ++s) {
+      db::SiteId dst = static_cast<db::SiteId>(s);
+      if (dst == t->origin || !cfg.HasReplica(item, dst)) continue;
+      bool have = false;
+      for (const auto& [gs, gi] : st->granted_remote) {
+        if (gs == dst && gi == item) {
+          have = true;
+          break;
+        }
+      }
+      if (!have) targets.push_back(dst);
+    }
+    if (targets.empty()) co_return true;
+    sys_->metrics().OnEagerLockRound(t->measured, attempt > 0);
+
+    RoundState round(&sys_->sim(), static_cast<int>(targets.size()));
+    if (sys_->fault_enabled()) {
+      for (db::SiteId dst : targets) {
+        sys_->sim().Spawn(
+            LockLeg(t, dst, item, st, &round, /*via_multicast=*/false));
+      }
+    } else {
+      co_await sys_->site(t->origin).cpu.Execute(cfg.message_instr);
+      // The delivery callback is materialized as a named lvalue: this
+      // toolchain destroys one extra live copy of a *prvalue* argument with
+      // owning captures when it is passed by value into a coroutine, which
+      // over-releases the captured shared_ptr. Lvalue arguments copy cleanly.
+      std::function<void(db::SiteId)> on_delivered =
+          [this, t, item, st, &round](db::SiteId dst) {
+            sys_->sim().Spawn(
+                LockLeg(t, dst, item, st, &round, /*via_multicast=*/true));
+          };
+      co_await sys_->network().Multicast(t->origin, targets,
+                                         cfg.ctrl_msg_bytes, on_delivered);
+    }
+    // Every leg is bounded (lock waits and reliable sends time out), so the
+    // round wait needs no deadline and `round` can live on this frame.
+    co_await round.done.Wait();
+
+    if (round.unavailable > 0) {
+      // Eager needs *all* replicas: an unreachable one is fatal, not
+      // retryable — availability is the price of synchronous replication.
+      st->fail_cause = txn::AbortCause::kUnavailable;
+      co_return false;
+    }
+    if (round.denied == 0) co_return true;
+    if (attempt >= cfg.eager_lock_retries) {
+      st->fail_cause = txn::AbortCause::kLockTimeout;
+      co_return false;
+    }
+    // Randomized exponential backoff breaks the symmetry of a distributed
+    // deadlock: whichever rival backs off longer re-requests into queues the
+    // other has already drained.
+    co_await sys_->sim().Delay(st->rng.Uniform01() * cfg.eager_backoff_base *
+                               (1 << attempt));
+  }
+}
+
+sim::Process EagerProtocol::Participant(txn::Transaction* t, db::SiteId dst,
+                                        TwoPCPtr pc, bool via_multicast) {
+  const core::SystemConfig& cfg = sys_->config();
+  core::Site& site = sys_->site(dst);
+  co_await site.cpu.Execute(cfg.message_instr);  // receive the PREPARE payload
+  int idx = pc->IndexOf(dst);
+  LAZYREP_CHECK(idx >= 0);
+  // Process the write set into the prepare log record and force it: the YES
+  // vote must survive a crash.
+  for (db::ItemId item : t->write_set) {
+    if (cfg.HasReplica(item, dst)) co_await site.cpu.Execute(cfg.op_instr);
+  }
+  co_await site.disk.ForceLog(cfg.log_bytes);
+
+  // Vote YES. From here the participant is in doubt: it no longer has the
+  // right to abort unilaterally and blocks holding its X locks.
+  sim::SimTime vote_at = sys_->sim().Now();
+  if (via_multicast) {
+    co_await sys_->SendCtrl(dst, t->origin);
+    pc->votes.Arrive();
+  } else if (co_await sys_->SendCtrlReliable(dst, t->origin)) {
+    pc->votes.Arrive();  // only a *delivered* YES counts
+  }
+  co_await pc->outcome[idx]->Wait();
+  sys_->metrics().OnEagerInDoubt(t->measured, sys_->sim().Now() - vote_at);
+
+  if (pc->commit) {
+    System::ConflictEdges edges = co_await sys_->ApplyWrites(dst, *t);
+    co_await site.disk.ForceLog(cfg.log_bytes);
+    site.locks.ReleaseAll(t->id);
+    // COMMIT-ACK, carrying this site's conflict predecessors; the tracker
+    // learns the subtransaction commit when the ack lands at the origin.
+    co_await sys_->SendCtrlAssured(dst, t->origin);
+    sys_->DeliverEdges(edges);
+    sys_->tracker().OnSubtxnCommitted(t->id);
+  } else {
+    // Presumed abort: release and forget, no ack.
+    site.locks.ReleaseAll(t->id);
+  }
+}
+
+sim::Process EagerProtocol::PrepareAt(txn::Transaction* t, int idx,
+                                      size_t bytes, TwoPCPtr pc) {
+  db::SiteId dst = pc->targets[idx];
+  if (!co_await sys_->SendPayloadReliable(t->origin, dst, bytes)) {
+    // Never reached the participant: no vote, no locks-in-doubt there. The
+    // coordinator learns through its vote timeout.
+    co_return;
+  }
+  pc->prepared[idx] = 1;
+  sys_->sim().Spawn(Participant(t, dst, pc, /*via_multicast=*/false));
+  if (pc->decided) {
+    // The PREPARE resolved only after the coordinator presumed abort (a
+    // commit cannot be decided while a PREPARE is outstanding — it needs
+    // every vote), so the decision-time broadcast missed this target:
+    // deliver its abort outcome now.
+    sys_->sim().Spawn(OutcomeAt(t->origin, pc, idx));
+  }
+}
+
+sim::Process EagerProtocol::OutcomeAt(db::SiteId origin, TwoPCPtr pc,
+                                      int idx) {
+  // Retried forever: a crashed coordinator endpoint stalls the retries until
+  // recovery, which is precisely the 2PC blocking window the in-doubt metric
+  // measures.
+  co_await sys_->SendCtrlAssured(origin, pc->targets[idx]);
+  pc->outcome[idx]->Fire(WaitStatus::kSignaled);
+}
+
+sim::Process EagerProtocol::BroadcastOutcome(db::SiteId origin, TwoPCPtr pc) {
+  const core::SystemConfig& cfg = sys_->config();
+  if (sys_->fault_enabled()) {
+    for (size_t i = 0; i < pc->targets.size(); ++i) {
+      if (pc->prepared[i]) {
+        sys_->sim().Spawn(OutcomeAt(origin, pc, static_cast<int>(i)));
+      }
+    }
+    co_return;
+  }
+  co_await sys_->site(origin).cpu.Execute(cfg.message_instr);
+  // Named lvalue for the same toolchain reason as in AcquireReplicaLocks.
+  std::function<void(db::SiteId)> on_delivered = [this, pc](db::SiteId dst) {
+    sys_->sim().Spawn([](EagerProtocol* self, TwoPCPtr p,
+                         db::SiteId site) -> sim::Process {
+      co_await self->sys_->site(site).cpu.Execute(
+          self->sys_->config().message_instr);
+      p->outcome[p->IndexOf(site)]->Fire(WaitStatus::kSignaled);
+    }(this, pc, dst));
+  };
+  co_await sys_->network().Multicast(origin, pc->targets, cfg.ctrl_msg_bytes,
+                                     on_delivered);
+}
+
+void EagerProtocol::AbortNow(txn::Transaction* t, StatePtr st,
+                             txn::AbortCause cause) {
+  sys_->site(t->origin).locks.ReleaseAll(t->id);
+  if (!st->granted_remote.empty()) {
+    sys_->sim().Spawn(
+        ReleaseRemote(t->origin, t->id, std::move(st->granted_remote)));
+    st->granted_remote.clear();
+  }
+  sys_->NoteAborted(t, cause);
+}
+
+sim::Process EagerProtocol::ReleaseRemote(
+    db::SiteId origin, db::TxnId id,
+    std::vector<std::pair<db::SiteId, db::ItemId>> granted) {
+  // One assured notice per distinct site; ReleaseAll there drops every X
+  // lock the transaction holds. The release must eventually arrive or the
+  // locks are stuck: retry forever.
+  std::vector<db::SiteId> sites;
+  for (const auto& [s, item] : granted) {
+    if (std::find(sites.begin(), sites.end(), s) == sites.end()) {
+      sites.push_back(s);
+    }
+  }
+  for (db::SiteId s : sites) {
+    co_await sys_->SendCtrlAssured(origin, s);
+    sys_->site(s).locks.ReleaseAll(id);
+  }
+}
+
+sim::Process EagerProtocol::Execute(txn::Transaction* t) {
+  const core::SystemConfig& cfg = sys_->config();
+  core::Site& origin = sys_->site(t->origin);
+  auto st = std::make_shared<ExecState>(
+      sim::RandomStream(cfg.seed ^ (0x9e3779b97f4a7c15ULL * t->id)));
+
+  // Operations execute strictly in order; a write's replica X locks are
+  // acquired synchronously before the next operation starts (the textbook
+  // eager discipline — no pipelined dispatch).
+  for (int i = 0; i < t->num_ops(); ++i) {
+    const db::Operation& op = t->ops[i];
+    LockMode mode = op.type == db::OpType::kWrite ? LockMode::kExclusive
+                                                  : LockMode::kShared;
+    WaitStatus s =
+        co_await origin.locks.Acquire(t->id, op.item, mode, cfg.timeout);
+    if (s != WaitStatus::kSignaled) {
+      AbortNow(t, st, txn::AbortCause::kLockTimeout);
+      co_return;
+    }
+    co_await sys_->ExecuteOpCost(t->origin);
+    if (op.type == db::OpType::kWrite) {
+      if (!co_await AcquireReplicaLocks(t, op.item, st)) {
+        AbortNow(t, st, st->fail_cause);
+        co_return;
+      }
+    } else {
+      db::Timestamp version = origin.store.Read(op.item, t->id);
+      if (sys_->history() != nullptr) {
+        sys_->history()->RecordRead(t->id, op.item, version);
+      }
+      if (version.txn != db::kNoTxn) {
+        st->edges.emplace_back(t->id, version.txn);  // wr: writer precedes us
+      }
+    }
+  }
+
+  if (!t->is_update) {
+    // Entirely local: commit, release (strict 2PL holds to commit, not to
+    // completion — the tracker's wr edges order completions instead).
+    sys_->NoteCommitted(t);
+    origin.locks.ReleaseAll(t->id);
+    sys_->DeliverEdges(st->edges);
+    sys_->tracker().OnSubtxnCommitted(t->id);
+    co_return;
+  }
+
+  std::vector<db::SiteId> targets = sys_->ReplicaTargets(*t, t->origin);
+  if (targets.empty()) {
+    // Degenerate partial-replication case: no replicas, one-site commit.
+    sys_->StampCommitTimestamp(t);
+    co_await sys_->ApplyWrites(t->origin, *t, /*at_origin=*/true);
+    co_await origin.disk.ForceLog(cfg.log_bytes);
+    sys_->NoteCommitted(t);
+    origin.locks.ReleaseAll(t->id);
+    sys_->DeliverEdges(st->edges);
+    sys_->tracker().OnSubtxnCommitted(t->id);
+    co_return;
+  }
+
+  // -- 2PC: PREPARE / VOTE ---------------------------------------------------
+  auto pc = std::make_shared<TwoPC>(&sys_->sim(), std::move(targets));
+  sys_->metrics().OnEagerPrepare(t->measured);
+  size_t bytes =
+      cfg.propagation_overhead_bytes + t->write_set.size() * cfg.item_bytes;
+  if (sys_->fault_enabled()) {
+    for (size_t i = 0; i < pc->targets.size(); ++i) {
+      sys_->sim().Spawn(PrepareAt(t, static_cast<int>(i), bytes, pc));
+    }
+  } else {
+    std::fill(pc->prepared.begin(), pc->prepared.end(), 1);
+    co_await origin.cpu.Execute(cfg.message_instr);
+    // Named lvalue for the same toolchain reason as in AcquireReplicaLocks.
+    std::function<void(db::SiteId)> on_delivered = [this, t,
+                                                    pc](db::SiteId dst) {
+      sys_->sim().Spawn(Participant(t, dst, pc, /*via_multicast=*/true));
+    };
+    co_await sys_->network().Multicast(t->origin, pc->targets, bytes,
+                                       on_delivered);
+  }
+  WaitStatus vs = co_await pc->votes.Wait(cfg.EagerVoteTimeout());
+
+  if (vs == WaitStatus::kSignaled) {
+    // Unanimous YES: commit. All writers of these items serialized behind
+    // this transaction's X locks, so TWR timestamps are monotone here — no
+    // stale-write certification is needed.
+    sys_->StampCommitTimestamp(t);
+    co_await sys_->ApplyWrites(t->origin, *t, /*at_origin=*/true);
+    co_await origin.disk.ForceLog(cfg.log_bytes);  // commit decision record
+    sys_->NoteCommitted(t);
+    origin.locks.ReleaseAll(t->id);
+    sys_->DeliverEdges(st->edges);
+    pc->commit = true;
+    pc->decided = true;
+    sys_->sim().Spawn(BroadcastOutcome(t->origin, pc));
+    sys_->tracker().OnSubtxnCommitted(t->id);
+    co_return;
+  }
+
+  // Vote collection timed out (lost votes, a crashed or overloaded
+  // participant): presumed abort.
+  sys_->metrics().OnEagerVoteTimeout(t->measured);
+  pc->decided = true;
+  pc->commit = false;
+  sys_->sim().Spawn(BroadcastOutcome(t->origin, pc));
+  // Prepared participants release through their abort outcome (they hold
+  // the right to the locks until then); only unprepared sites' grants are
+  // released directly.
+  std::erase_if(st->granted_remote,
+                [&](const std::pair<db::SiteId, db::ItemId>& p) {
+                  int idx = pc->IndexOf(p.first);
+                  return idx >= 0 && pc->prepared[idx];
+                });
+  AbortNow(t, st, txn::AbortCause::kUnavailable);
+}
+
+void EagerProtocol::OnCompleted(txn::Transaction* t) {
+  sys_->site(t->origin).locks.ReleaseAll(t->id);  // defensive; normally empty
+  sys_->tracker().NotifyCompletionAtSite(t->id, t->origin);
+  sys_->sim().Spawn(BroadcastCompletion(t->id, t->origin));
+}
+
+sim::Process EagerProtocol::CompleteAtSite(db::TxnId id, db::SiteId origin,
+                                           db::SiteId dst) {
+  // A lost completion notice would strand dependents' fixpoints forever.
+  co_await sys_->SendCtrlAssured(origin, dst);
+  sys_->site(dst).locks.ReleaseAll(id);
+  sys_->tracker().NotifyCompletionAtSite(id, dst);
+}
+
+sim::Process EagerProtocol::BroadcastCompletion(db::TxnId id,
+                                                db::SiteId origin) {
+  const core::SystemConfig& cfg = sys_->config();
+  std::vector<db::SiteId> others;
+  others.reserve(cfg.num_sites - 1);
+  for (int s = 0; s < cfg.num_sites; ++s) {
+    if (s != origin) others.push_back(static_cast<db::SiteId>(s));
+  }
+  if (sys_->fault_enabled()) {
+    for (db::SiteId dst : others) {
+      sys_->sim().Spawn(CompleteAtSite(id, origin, dst));
+    }
+    co_return;
+  }
+  co_await sys_->site(origin).cpu.Execute(cfg.message_instr);
+  co_await sys_->network().Multicast(
+      origin, others, cfg.ctrl_msg_bytes, [this, id](db::SiteId dst) {
+        sys_->sim().Spawn([](EagerProtocol* self, db::TxnId txn,
+                             db::SiteId site) -> sim::Process {
+          co_await self->sys_->site(site).cpu.Execute(
+              self->sys_->config().message_instr);
+          self->sys_->site(site).locks.ReleaseAll(txn);
+          self->sys_->tracker().NotifyCompletionAtSite(txn, site);
+        }(this, id, dst));
+      });
+}
+
+}  // namespace lazyrep::proto

@@ -16,9 +16,18 @@ Transaction WorkloadGenerator::Generate(db::TxnId id, db::SiteId origin,
 
   int num_ops =
       static_cast<int>(rng->UniformInt(params_.min_ops, params_.max_ops));
-  t.ops.reserve(num_ops);
 
   const int total = params_.total_items();
+  // Items are distinct within a transaction, so a tiny database bounds the
+  // operation count: reads draw only from the items replicated at the origin
+  // (the whole database under full replication). Without the clamp the
+  // distinct-item rejection loops below cannot terminate.
+  const int reachable =
+      params_.full_replication()
+          ? total
+          : params_.replication_degree * params_.items_per_site;
+  if (num_ops > reachable) num_ops = reachable;
+  t.ops.reserve(num_ops);
   // The primary-item range owned by the origination site.
   const int own_lo = origin * params_.items_per_site;
   const int own_hi = own_lo + params_.items_per_site - 1;

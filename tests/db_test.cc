@@ -172,6 +172,67 @@ TEST(LockManagerTest, UpgradeJumpsQueueAheadOfNewRequests) {
   EXPECT_DOUBLE_EQ(t_up, 3.0);  // blocked only by txn 2's shared hold
 }
 
+TEST(LockManagerTest, ExclusiveExcludesEveryMode) {
+  // The eager baseline's strict-2PL mode: X conflicts with S, U, and X.
+  Simulation sim;
+  LockManager lm(&sim);
+  WaitStatus sx, ss, su, sx2;
+  double tx, ts, tu, tx2;
+  sim.Spawn(AcquireLock(&sim, &lm, 1, 5, LockMode::kExclusive, 99.0, &sx,
+                        &tx));
+  sim.Spawn(AcquireLock(&sim, &lm, 2, 5, LockMode::kShared, 1.0, &ss, &ts));
+  sim.Spawn(AcquireLock(&sim, &lm, 3, 5, LockMode::kUpdate, 1.0, &su, &tu));
+  sim.Spawn(AcquireLock(&sim, &lm, 4, 5, LockMode::kExclusive, 1.0, &sx2,
+                        &tx2));
+  sim.Run();
+  EXPECT_EQ(sx, WaitStatus::kSignaled);
+  EXPECT_EQ(ss, WaitStatus::kTimeout);
+  EXPECT_EQ(su, WaitStatus::kTimeout);
+  EXPECT_EQ(sx2, WaitStatus::kTimeout);
+  EXPECT_EQ(lm.HolderCount(5), 1u);
+}
+
+TEST(LockManagerTest, ExclusiveCoversWeakerReacquisition) {
+  // Strength lattice S < U < X: a held X satisfies any same-txn request.
+  Simulation sim;
+  LockManager lm(&sim);
+  WaitStatus sx, ss, su;
+  double tx, ts, tu;
+  sim.Spawn(AcquireLock(&sim, &lm, 1, 5, LockMode::kExclusive, 1.0, &sx,
+                        &tx));
+  sim.Spawn(AcquireLock(&sim, &lm, 1, 5, LockMode::kShared, 1.0, &ss, &ts));
+  sim.Spawn(AcquireLock(&sim, &lm, 1, 5, LockMode::kUpdate, 1.0, &su, &tu));
+  sim.Run();
+  EXPECT_EQ(ss, WaitStatus::kSignaled);
+  EXPECT_EQ(su, WaitStatus::kSignaled);
+  EXPECT_DOUBLE_EQ(tu, 0.0);
+  EXPECT_EQ(lm.HolderCount(5), 1u);
+  EXPECT_TRUE(lm.Holds(1, 5, LockMode::kShared));
+  EXPECT_TRUE(lm.Holds(1, 5, LockMode::kUpdate));
+  EXPECT_TRUE(lm.Holds(1, 5, LockMode::kExclusive));
+}
+
+TEST(LockManagerTest, UpdateUpgradesToExclusiveAfterRivalReleases) {
+  // Two TWR writers coexist under U; one then needs X (eager discipline)
+  // and must wait for the other's U to go away.
+  Simulation sim;
+  LockManager lm(&sim);
+  WaitStatus s1, s2, sx;
+  double t1, t2, tx;
+  sim.Spawn(AcquireLock(&sim, &lm, 1, 5, LockMode::kUpdate, 99.0, &s1, &t1));
+  sim.Spawn(AcquireLock(&sim, &lm, 2, 5, LockMode::kUpdate, 99.0, &s2, &t2));
+  sim.ScheduleCallbackAt(1.0, [&] {
+    sim.Spawn(AcquireLock(&sim, &lm, 1, 5, LockMode::kExclusive, 99.0, &sx,
+                          &tx));
+  });
+  sim.ScheduleCallbackAt(2.0, [&] { lm.ReleaseAll(2); });
+  sim.Run();
+  EXPECT_EQ(sx, WaitStatus::kSignaled);
+  EXPECT_DOUBLE_EQ(tx, 2.0);
+  EXPECT_TRUE(lm.Holds(1, 5, LockMode::kExclusive));
+  EXPECT_FALSE(lm.Holds(2, 5, LockMode::kUpdate));
+}
+
 TEST(LockManagerTest, ReleaseAllFreesEverything) {
   Simulation sim;
   LockManager lm(&sim);

@@ -81,7 +81,8 @@ TEST_P(Determinism, ZeroFaultKnobsReproduceTheFaultFreeRun) {
 INSTANTIATE_TEST_SUITE_P(AllProtocols, Determinism,
                          ::testing::Values(ProtocolKind::kLocking,
                                            ProtocolKind::kPessimistic,
-                                           ProtocolKind::kOptimistic),
+                                           ProtocolKind::kOptimistic,
+                                           ProtocolKind::kEager),
                          [](const auto& info) {
                            return std::string(
                                ProtocolKindName(info.param));

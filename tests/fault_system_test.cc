@@ -103,7 +103,8 @@ TEST_P(ProtocolFaults, SiteCrashRotationResolvesEverything) {
 INSTANTIATE_TEST_SUITE_P(AllProtocols, ProtocolFaults,
                          ::testing::Values(ProtocolKind::kLocking,
                                            ProtocolKind::kPessimistic,
-                                           ProtocolKind::kOptimistic),
+                                           ProtocolKind::kOptimistic,
+                                           ProtocolKind::kEager),
                          [](const auto& info) {
                            return std::string(
                                ProtocolKindName(info.param));

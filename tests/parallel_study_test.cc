@@ -33,7 +33,11 @@ SystemConfig TinyConfig(double tps) {
 }
 
 StudyRunner MakeRunner() {
-  return StudyRunner("par-test", [](double tps) { return TinyConfig(tps); });
+  StudyRunner r("par-test", [](double tps) { return TinyConfig(tps); });
+  // The full four-way comparison: three lazy protocols + the eager baseline.
+  r.set_protocols({ProtocolKind::kLocking, ProtocolKind::kPessimistic,
+                   ProtocolKind::kOptimistic, ProtocolKind::kEager});
+  return r;
 }
 
 /// Renders every numeric field a figure could plot with %a (hex floats), so
@@ -82,7 +86,7 @@ TEST(ParallelStudyTest, JobsLevelsProduceByteIdenticalSeries) {
   parallel.set_jobs(4);
   std::vector<StudyPoint> s4 = parallel.Sweep({30, 60, 90}, false);
 
-  ASSERT_EQ(s1.size(), 9u);  // 3 protocols x 3 loads
+  ASSERT_EQ(s1.size(), 12u);  // 4 protocols x 3 loads
   EXPECT_EQ(FingerprintAll(s1), FingerprintAll(s4));
 }
 
@@ -111,7 +115,7 @@ TEST(ParallelStudyTest, SubsetSelectionPreservesPointResults) {
 
   // A point's result depends only on what it is, never on which other
   // points ran beside it.
-  ASSERT_EQ(one.size(), 3u);
+  ASSERT_EQ(one.size(), 4u);
   for (const StudyPoint& p : one) {
     bool matched = false;
     for (const StudyPoint& q : all) {
@@ -147,7 +151,7 @@ TEST(ParallelStudyTest, FleetWideSerializabilityAudit) {
   runner.set_jobs(4);
   runner.set_check_serializability(true);
   std::vector<StudyPoint> points = runner.Sweep({40, 80}, false);
-  ASSERT_EQ(points.size(), 6u);
+  ASSERT_EQ(points.size(), 8u);
   for (const StudyPoint& p : points) {
     EXPECT_EQ(p.snap.serializable, 1)
         << ProtocolKindName(p.protocol) << " x=" << p.x << ": "

@@ -30,7 +30,8 @@ void PrintHelp() {
   std::printf(
       "lazyrep_cli — run one lazy-replication experiment\n\n"
       "protocol / scenario\n"
-      "  --protocol=locking|pessimistic|optimistic|all   (default optimistic)\n"
+      "  --protocol=locking|pessimistic|optimistic|eager|all\n"
+      "                                  (default optimistic)\n"
       "  --preset=oc3|oc1|oc1star        start from a paper study config\n"
       "workload & system (override preset)\n"
       "  --sites=N --items=N             sites, primary items per site\n"
@@ -128,10 +129,13 @@ int main(int argc, char** argv) {
         protocols.push_back(core::ProtocolKind::kPessimistic);
       } else if (std::strcmp(v, "optimistic") == 0) {
         protocols.push_back(core::ProtocolKind::kOptimistic);
+      } else if (std::strcmp(v, "eager") == 0) {
+        protocols.push_back(core::ProtocolKind::kEager);
       } else if (std::strcmp(v, "all") == 0) {
         protocols = {core::ProtocolKind::kLocking,
                      core::ProtocolKind::kPessimistic,
-                     core::ProtocolKind::kOptimistic};
+                     core::ProtocolKind::kOptimistic,
+                     core::ProtocolKind::kEager};
       } else {
         std::fprintf(stderr, "unknown protocol %s\n", v);
         return 1;
