@@ -3,6 +3,7 @@
 
 #include <benchmark/benchmark.h>
 
+#include "net/star_network.h"
 #include "sim/facility.h"
 #include "sim/process.h"
 #include "sim/random.h"
@@ -44,6 +45,33 @@ void BM_EventQueueCancelHalf(benchmark::State& state) {
 }
 BENCHMARK(BM_EventQueueCancelHalf)->Arg(100000);
 
+// Retry-timer shape: every canceled event is immediately rescheduled later,
+// the pattern reliable-messaging retries and lock timeouts generate. With
+// lazy deletion this leaves dead entries stacked in the heap; the indexed
+// heap removes them in place.
+void BM_EventQueueRetryTimer(benchmark::State& state) {
+  const int batch = static_cast<int>(state.range(0));
+  const int rearms = 4;
+  for (auto _ : state) {
+    Simulation sim;
+    RandomStream rng(1);
+    std::vector<EventId> ids;
+    ids.reserve(batch);
+    for (int i = 0; i < batch; ++i) {
+      ids.push_back(sim.ScheduleCallbackAt(rng.Uniform(1, 2), [] {}));
+    }
+    for (int r = 0; r < rearms; ++r) {
+      for (int i = 0; i < batch; ++i) {
+        sim.Cancel(ids[i]);
+        ids[i] = sim.ScheduleCallbackAt(rng.Uniform(1, 2), [] {});
+      }
+    }
+    sim.Run();
+  }
+  state.SetItemsProcessed(state.iterations() * batch * (rearms + 1));
+}
+BENCHMARK(BM_EventQueueRetryTimer)->Arg(10000)->Arg(100000);
+
 Process Delayer(Simulation* sim, int hops, int* done) {
   for (int i = 0; i < hops; ++i) co_await sim->Delay(0.001);
   ++*done;
@@ -80,6 +108,36 @@ void BM_FacilityContention(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * procs * 100);
 }
 BENCHMARK(BM_FacilityContention)->Arg(10)->Arg(100);
+
+Process MulticastLoop(Simulation* sim, net::StarNetwork* net,
+                      const std::vector<db::SiteId>* dsts, int sends,
+                      uint64_t* delivered) {
+  for (int i = 0; i < sends; ++i) {
+    net::StarNetwork::DeliveryFn on_delivered = [delivered](db::SiteId) {
+      ++*delivered;
+    };
+    co_await net->Multicast(0, *dsts, 1000, std::move(on_delivered));
+  }
+}
+
+// Multicast-shaped load: pooled per-message nodes, one delivery leg per
+// recipient — the propagation hot path of every protocol.
+void BM_NetworkMulticast(benchmark::State& state) {
+  const int sites = static_cast<int>(state.range(0));
+  const int sends = 1000;
+  for (auto _ : state) {
+    Simulation sim;
+    net::StarNetwork net(&sim, sites, net::NetworkParams{});
+    std::vector<db::SiteId> dsts;
+    for (int s = 1; s < sites; ++s) dsts.push_back(static_cast<db::SiteId>(s));
+    uint64_t delivered = 0;
+    sim.Spawn(MulticastLoop(&sim, &net, &dsts, sends, &delivered));
+    sim.Run();
+    benchmark::DoNotOptimize(delivered);
+  }
+  state.SetItemsProcessed(state.iterations() * sends * (sites - 1));
+}
+BENCHMARK(BM_NetworkMulticast)->Arg(4)->Arg(16);
 
 }  // namespace
 }  // namespace lazyrep::sim

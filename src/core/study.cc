@@ -116,6 +116,7 @@ void PrintFigure(const std::vector<StudyPoint>& points,
   std::printf("    (%s)\n", y_label.c_str());
   // Collect distinct x values in order of first appearance.
   std::vector<double> xs;
+  xs.reserve(points.size());
   for (const StudyPoint& p : points) {
     bool seen = false;
     for (double x : xs) {

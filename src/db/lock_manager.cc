@@ -6,6 +6,50 @@
 
 namespace lazyrep::db {
 
+void LockManager::WaiterQueue::PushBack(Waiter* w) {
+  w->next = nullptr;
+  if (tail == nullptr) {
+    head = tail = w;
+  } else {
+    tail->next = w;
+    tail = w;
+  }
+  ++size;
+}
+
+void LockManager::WaiterQueue::PushFront(Waiter* w) {
+  w->next = head;
+  head = w;
+  if (tail == nullptr) tail = w;
+  ++size;
+}
+
+LockManager::Waiter* LockManager::WaiterQueue::PopFront() {
+  Waiter* w = head;
+  head = w->next;
+  if (head == nullptr) tail = nullptr;
+  w->next = nullptr;
+  --size;
+  return w;
+}
+
+bool LockManager::WaiterQueue::Remove(Waiter* w) {
+  Waiter* prev = nullptr;
+  for (Waiter* cur = head; cur != nullptr; prev = cur, cur = cur->next) {
+    if (cur != w) continue;
+    if (prev == nullptr) {
+      head = cur->next;
+    } else {
+      prev->next = cur->next;
+    }
+    if (tail == cur) tail = prev;
+    cur->next = nullptr;
+    --size;
+    return true;
+  }
+  return false;
+}
+
 bool LockManager::CompatibleWithHolders(const ItemLock& lock, TxnId txn,
                                         LockMode mode) {
   for (const auto& [holder, held_mode] : lock.holders) {
@@ -59,9 +103,9 @@ sim::Task<sim::WaitStatus> LockManager::Acquire(TxnId txn, ItemId item,
   waiter.mode = mode;
   waiter.is_upgrade = is_upgrade;
   if (is_upgrade) {
-    lock.queue.push_front(&waiter);  // upgrades served before plain requests
+    lock.queue.PushFront(&waiter);  // upgrades served before plain requests
   } else {
-    lock.queue.push_back(&waiter);
+    lock.queue.PushBack(&waiter);
   }
 
   sim::SimTime wait_start = sim_->Now();
@@ -73,8 +117,7 @@ sim::Task<sim::WaitStatus> LockManager::Acquire(TxnId txn, ItemId item,
     // Remove ourselves from the queue; the lock entry may need pumping since
     // our departure can unblock requests behind us.
     ItemLock& lk = locks_[item];
-    auto it = std::find(lk.queue.begin(), lk.queue.end(), &waiter);
-    if (it != lk.queue.end()) lk.queue.erase(it);
+    lk.queue.Remove(&waiter);
     PumpQueue(item, &lk);
     MaybeErase(item);
     co_return status;
@@ -88,9 +131,9 @@ sim::Task<sim::WaitStatus> LockManager::Acquire(TxnId txn, ItemId item,
 void LockManager::PumpQueue(ItemId item, ItemLock* lock) {
   (void)item;
   while (!lock->queue.empty()) {
-    Waiter* head = lock->queue.front();
+    Waiter* head = lock->queue.head;
     if (!CompatibleWithHolders(*lock, head->txn, head->mode)) break;
-    lock->queue.pop_front();
+    lock->queue.PopFront();
     bool already_held = false;
     for (const auto& [holder, mode] : lock->holders) {
       if (holder == head->txn) already_held = true;
@@ -161,7 +204,7 @@ size_t LockManager::HolderCount(ItemId item) const {
 
 size_t LockManager::WaiterCount(ItemId item) const {
   auto it = locks_.find(item);
-  return it == locks_.end() ? 0 : it->second.queue.size();
+  return it == locks_.end() ? 0 : it->second.queue.size;
 }
 
 std::vector<ItemId> LockManager::HeldItems(TxnId txn) const {

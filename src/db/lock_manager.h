@@ -2,7 +2,6 @@
 #define LAZYREP_DB_LOCK_MANAGER_H_
 
 #include <cstdint>
-#include <deque>
 #include <unordered_map>
 #include <vector>
 
@@ -89,18 +88,38 @@ class LockManager {
   void ResetStats();
 
  private:
+  /// A waiting lock request. Lives on the Acquire coroutine's frame; the
+  /// wait queue links through it intrusively, so queuing a request performs
+  /// no heap allocation.
   struct Waiter {
     explicit Waiter(sim::Simulation* sim) : shot(sim) {}
     TxnId txn = kNoTxn;
     LockMode mode = LockMode::kShared;
     bool is_upgrade = false;
     sim::OneShot shot;
+    Waiter* next = nullptr;
+  };
+
+  /// Intrusive FIFO of Waiters with O(1) push at either end (upgrades jump
+  /// to the front). Removal (timeout path) walks from the head — queues are
+  /// short, and the erased deque did the same linear scan.
+  struct WaiterQueue {
+    Waiter* head = nullptr;
+    Waiter* tail = nullptr;
+    size_t size = 0;
+
+    bool empty() const { return head == nullptr; }
+    void PushBack(Waiter* w);
+    void PushFront(Waiter* w);
+    Waiter* PopFront();
+    /// Unlinks `w` if present; returns whether it was.
+    bool Remove(Waiter* w);
   };
 
   struct ItemLock {
     // (txn, mode) pairs; small in practice.
     std::vector<std::pair<TxnId, LockMode>> holders;
-    std::deque<Waiter*> queue;
+    WaiterQueue queue;
   };
 
   /// True when `txn` requesting `mode` is compatible with all other holders.

@@ -2,6 +2,7 @@
 #define LAZYREP_HW_CPU_H_
 
 #include <string>
+#include <utility>
 
 #include "sim/facility.h"
 #include "sim/process.h"
@@ -28,12 +29,13 @@ class Cpu {
 
   /// Single-threaded service whose instruction count is determined when the
   /// CPU picks the request up; rejects when `queue_bound` requests already
-  /// wait. `work` returns the number of instructions its side effects cost.
-  sim::Task<sim::WaitStatus> Serve(std::function<double()> work,
+  /// wait. `work` returns the number of instructions its side effects cost;
+  /// the facility divides by the instruction rate (same arithmetic as
+  /// SecondsFor) without wrapping the callable — the caller's captures go
+  /// straight into the inline work slot.
+  sim::Task<sim::WaitStatus> Serve(sim::Facility::WorkFn work,
                                    size_t queue_bound) {
-    return facility_.Serve(
-        [this, work = std::move(work)] { return SecondsFor(work()); },
-        queue_bound);
+    return facility_.Serve(std::move(work), queue_bound, mips_ * 1e6);
   }
 
   double Utilization() const { return facility_.Utilization(); }

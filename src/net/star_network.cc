@@ -47,28 +47,62 @@ sim::Task<bool> StarNetwork::Transfer(db::SiteId src, db::SiteId dst,
   co_return true;
 }
 
-sim::Process StarNetwork::DeliverLeg(
-    db::SiteId src, db::SiteId dst, size_t bytes,
-    std::function<void(db::SiteId)> on_delivered) {
-  co_await sim_->Delay(params_.latency);
-  int copies = FateOf(src, dst);
-  if (copies == 0) co_return;
-  for (int i = 0; i < copies; ++i) {
-    co_await incoming_[dst]->Use(TransmitTime(bytes));
+StarNetwork::MulticastNode* StarNetwork::AcquireNode(DeliveryFn on_delivered,
+                                                     int legs) {
+  MulticastNode* node = free_nodes_;
+  if (node != nullptr) {
+    free_nodes_ = node->next_free;
+    node->next_free = nullptr;
+  } else {
+    node_arena_.push_back(std::make_unique<MulticastNode>());
+    node = node_arena_.back().get();
   }
-  ++messages_delivered_;
-  if (on_delivered) on_delivered(dst);
+  node->on_delivered = std::move(on_delivered);
+  node->legs_in_flight = legs;
+  return node;
 }
 
-sim::Task<void> StarNetwork::Multicast(
+void StarNetwork::FinishLeg(MulticastNode* node) {
+  if (--node->legs_in_flight == 0) {
+    node->on_delivered.Reset();
+    node->next_free = free_nodes_;
+    free_nodes_ = node;
+  }
+}
+
+sim::Process StarNetwork::DeliverLeg(db::SiteId src, db::SiteId dst,
+                                     size_t bytes, MulticastNode* node) {
+  co_await sim_->Delay(params_.latency);
+  int copies = FateOf(src, dst);
+  if (copies > 0) {
+    for (int i = 0; i < copies; ++i) {
+      co_await incoming_[dst]->Use(TransmitTime(bytes));
+    }
+    ++messages_delivered_;
+    if (node->on_delivered) node->on_delivered(dst);
+  }
+  FinishLeg(node);
+}
+
+sim::Task<void> StarNetwork::MulticastSend(
     db::SiteId src, const std::vector<db::SiteId>& dsts, size_t bytes,
-    std::function<void(db::SiteId)> on_delivered) {
+    MulticastNode* node) {
   // The switch replicates the packet: the sender's outgoing link carries the
   // message exactly once, then each recipient's incoming link is used.
   co_await outgoing_[src]->Use(TransmitTime(bytes));
   for (db::SiteId dst : dsts) {
-    sim_->Spawn(DeliverLeg(src, dst, bytes, on_delivered));
+    sim_->Spawn(DeliverLeg(src, dst, bytes, node));
   }
+}
+
+sim::Task<void> StarNetwork::Multicast(db::SiteId src,
+                                       const std::vector<db::SiteId>& dsts,
+                                       size_t bytes, DeliveryFn on_delivered) {
+  MulticastNode* node = nullptr;
+  if (!dsts.empty()) {
+    node = AcquireNode(std::move(on_delivered), static_cast<int>(dsts.size()));
+  }
+  return MulticastSend(src, dsts, bytes, node);
 }
 
 double StarNetwork::MeanUtilization() const {

@@ -8,6 +8,7 @@
 
 #include "db/types.h"
 #include "sim/facility.h"
+#include "sim/inline_function.h"
 #include "sim/process.h"
 #include "sim/simulation.h"
 
@@ -38,6 +39,11 @@ class StarNetwork {
   /// reliable-messaging layer). Unset = perfect network.
   using FaultHook = std::function<int(db::SiteId src, db::SiteId dst)>;
 
+  /// Per-delivery callback. Inline (no heap): one instance is shared by all
+  /// legs of a multicast through a pooled per-message node, so captures must
+  /// fit the inline budget and stay valid until the last leg resolves.
+  using DeliveryFn = sim::InlineFunction<void(db::SiteId)>;
+
   StarNetwork(sim::Simulation* sim, int num_sites, const NetworkParams& params);
 
   void set_fault_hook(FaultHook hook) { fault_hook_ = std::move(hook); }
@@ -51,9 +57,16 @@ class StarNetwork {
   /// runs (in simulated time) as each recipient finishes receiving. Returns
   /// after the sender's outgoing link is released (i.e., after the single
   /// send-side transmission).
+  ///
+  /// Not a coroutine itself: the callback is moved into a pooled per-message
+  /// node before any coroutine boundary, so the legs perform no per-message
+  /// allocation. Callers whose callback captures anything with a non-trivial
+  /// destructor (e.g. a shared_ptr) must pass a *named* DeliveryFn via
+  /// std::move, never a prvalue lambda: this toolchain's coroutine transform
+  /// runs one extra destructor on owning temporaries materialized inside a
+  /// co_await expression.
   sim::Task<void> Multicast(db::SiteId src, const std::vector<db::SiteId>& dsts,
-                            size_t bytes,
-                            std::function<void(db::SiteId)> on_delivered);
+                            size_t bytes, DeliveryFn on_delivered);
 
   /// Seconds to push `bytes` through one link.
   double TransmitTime(size_t bytes) const {
@@ -81,8 +94,24 @@ class StarNetwork {
   const NetworkParams& params() const { return params_; }
 
  private:
+  /// Per-multicast node: holds the shared delivery callback and the count of
+  /// legs still in flight. Nodes are recycled through a free list (arena-
+  /// backed), so steady-state multicasts allocate nothing.
+  struct MulticastNode {
+    DeliveryFn on_delivered;
+    int legs_in_flight = 0;
+    MulticastNode* next_free = nullptr;
+  };
+
+  MulticastNode* AcquireNode(DeliveryFn on_delivered, int legs);
+  /// Marks one leg done; recycles the node when it was the last.
+  void FinishLeg(MulticastNode* node);
+
+  sim::Task<void> MulticastSend(db::SiteId src,
+                                const std::vector<db::SiteId>& dsts,
+                                size_t bytes, MulticastNode* node);
   sim::Process DeliverLeg(db::SiteId src, db::SiteId dst, size_t bytes,
-                          std::function<void(db::SiteId)> on_delivered);
+                          MulticastNode* node);
 
   /// Copies arriving for one delivery leg (1 when no hook is installed).
   int FateOf(db::SiteId src, db::SiteId dst);
@@ -92,6 +121,8 @@ class StarNetwork {
   FaultHook fault_hook_;
   std::vector<std::unique_ptr<sim::Facility>> outgoing_;
   std::vector<std::unique_ptr<sim::Facility>> incoming_;
+  std::vector<std::unique_ptr<MulticastNode>> node_arena_;
+  MulticastNode* free_nodes_ = nullptr;
   uint64_t messages_delivered_ = 0;
   uint64_t messages_dropped_ = 0;
   uint64_t copies_duplicated_ = 0;

@@ -92,17 +92,19 @@ sim::Task<bool> EagerProtocol::AcquireReplicaLocks(txn::Transaction* t,
       }
     } else {
       co_await sys_->site(t->origin).cpu.Execute(cfg.message_instr);
-      // The delivery callback is materialized as a named lvalue: this
-      // toolchain destroys one extra live copy of a *prvalue* argument with
-      // owning captures when it is passed by value into a coroutine, which
-      // over-releases the captured shared_ptr. Lvalue arguments copy cleanly.
-      std::function<void(db::SiteId)> on_delivered =
+      // The callback must be a named lvalue: this toolchain's coroutine
+      // transform runs one extra destructor on an owning prvalue temporary
+      // materialized inside a co_await expression (here that would double-
+      // release the captured shared_ptr). Moving from a named local instead
+      // keeps exactly one destruction per object.
+      net::StarNetwork::DeliveryFn on_locked =
           [this, t, item, st, &round](db::SiteId dst) {
             sys_->sim().Spawn(
                 LockLeg(t, dst, item, st, &round, /*via_multicast=*/true));
           };
       co_await sys_->network().Multicast(t->origin, targets,
-                                         cfg.ctrl_msg_bytes, on_delivered);
+                                         cfg.ctrl_msg_bytes,
+                                         std::move(on_locked));
     }
     // Every leg is bounded (lock waits and reliable sends time out), so the
     // round wait needs no deadline and `round` can live on this frame.
@@ -207,8 +209,8 @@ sim::Process EagerProtocol::BroadcastOutcome(db::SiteId origin, TwoPCPtr pc) {
     co_return;
   }
   co_await sys_->site(origin).cpu.Execute(cfg.message_instr);
-  // Named lvalue for the same toolchain reason as in AcquireReplicaLocks.
-  std::function<void(db::SiteId)> on_delivered = [this, pc](db::SiteId dst) {
+  // Named lvalue: see AcquireReplicaLocks for the toolchain bug this avoids.
+  net::StarNetwork::DeliveryFn on_outcome = [this, pc](db::SiteId dst) {
     sys_->sim().Spawn([](EagerProtocol* self, TwoPCPtr p,
                          db::SiteId site) -> sim::Process {
       co_await self->sys_->site(site).cpu.Execute(
@@ -217,7 +219,7 @@ sim::Process EagerProtocol::BroadcastOutcome(db::SiteId origin, TwoPCPtr pc) {
     }(this, pc, dst));
   };
   co_await sys_->network().Multicast(origin, pc->targets, cfg.ctrl_msg_bytes,
-                                     on_delivered);
+                                     std::move(on_outcome));
 }
 
 void EagerProtocol::AbortNow(txn::Transaction* t, StatePtr st,
@@ -320,13 +322,12 @@ sim::Process EagerProtocol::Execute(txn::Transaction* t) {
   } else {
     std::fill(pc->prepared.begin(), pc->prepared.end(), 1);
     co_await origin.cpu.Execute(cfg.message_instr);
-    // Named lvalue for the same toolchain reason as in AcquireReplicaLocks.
-    std::function<void(db::SiteId)> on_delivered = [this, t,
-                                                    pc](db::SiteId dst) {
+    // Named lvalue: see AcquireReplicaLocks for the toolchain bug this avoids.
+    net::StarNetwork::DeliveryFn on_prepare = [this, t, pc](db::SiteId dst) {
       sys_->sim().Spawn(Participant(t, dst, pc, /*via_multicast=*/true));
     };
     co_await sys_->network().Multicast(t->origin, pc->targets, bytes,
-                                       on_delivered);
+                                       std::move(on_prepare));
   }
   WaitStatus vs = co_await pc->votes.Wait(cfg.EagerVoteTimeout());
 

@@ -3,10 +3,10 @@
 
 #include <coroutine>
 #include <cstdint>
-#include <functional>
 #include <limits>
-#include <queue>
 #include <vector>
+
+#include "sim/inline_function.h"
 
 namespace lazyrep::sim {
 
@@ -29,11 +29,20 @@ struct EventId {
 /// Priority queue of simulation events ordered by (time, insertion sequence).
 ///
 /// Events are either a coroutine handle to resume or an arbitrary callback.
+/// The queue is an **indexed 4-ary min-heap**: each slot records its current
+/// heap position, so Cancel() removes the entry from the heap in O(log n)
+/// instead of leaving a dead entry behind. The heap therefore holds exactly
+/// the live events at all times — cancel-heavy workloads (condition timeouts,
+/// retransmission timers) cannot bloat it, and PeekTime()/Empty() are const.
+///
 /// Slots are recycled through a free list; generation counters make stale
 /// EventIds (including ids of already-fired events) harmless to cancel.
+/// Callbacks are stored inline in the slot (InlineFunction): scheduling an
+/// event performs no heap allocation once the slot and heap arrays have
+/// reached steady-state capacity.
 class EventQueue {
  public:
-  using Callback = std::function<void()>;
+  using Callback = InlineFunction<void()>;
 
   EventQueue() = default;
   EventQueue(const EventQueue&) = delete;
@@ -49,16 +58,19 @@ class EventQueue {
   /// Returns true if the event was pending and is now cancelled.
   bool Cancel(EventId id);
 
-  /// True when no live (non-cancelled) event is pending.
-  bool Empty() const { return live_count_ == 0; }
+  /// True when no live event is pending.
+  bool Empty() const { return heap_.empty(); }
 
   /// Number of live pending events.
-  size_t Size() const { return live_count_; }
+  size_t Size() const { return heap_.size(); }
 
   /// Time of the earliest live event, or kTimeInfinity when empty.
-  SimTime PeekTime();
+  SimTime PeekTime() const {
+    return heap_.empty() ? kTimeInfinity : heap_[0].time;
+  }
 
-  /// Fired event returned by Pop.
+  /// Fired event returned by Pop. Move-only: the callback is moved out of
+  /// its slot exactly once, never copied.
   struct Fired {
     SimTime time = 0;
     std::coroutine_handle<> handle;  // set when the event resumes a coroutine
@@ -68,8 +80,28 @@ class EventQueue {
   /// Removes and returns the earliest live event. Requires !Empty().
   Fired Pop();
 
+  /// Number of heap entries — always equal to Size(): the indexed heap keeps
+  /// no dead entries (the O(live) invariant the fuzz test pins down).
+  size_t heap_size() const { return heap_.size(); }
+
+  /// Slot array length (live + free-listed); bounds memory diagnostics.
+  size_t slot_count() const { return slots_.size(); }
+
+  /// Pre-sizes the slot and heap arrays for `events` concurrent events so
+  /// the first simulated seconds do not pay vector growth.
+  void Reserve(size_t events);
+
  private:
   enum class Kind : uint8_t { kFree, kResume, kCallback };
+
+  /// Heap node, kept small so sift compares stay within few cache lines.
+  /// Ordering key is (time, seq); seq is unique, so the order is total and
+  /// pop order is independent of the heap arity or cancellation history.
+  struct HeapNode {
+    SimTime time;
+    uint64_t seq;
+    uint32_t slot;
+  };
 
   struct Slot {
     uint32_t generation = 1;
@@ -78,27 +110,30 @@ class EventQueue {
     Callback callback;
   };
 
-  struct HeapEntry {
-    SimTime time;
-    uint64_t seq;
-    uint32_t slot;
-    uint32_t generation;
-
-    bool operator>(const HeapEntry& other) const {
-      if (time != other.time) return time > other.time;
-      return seq > other.seq;
-    }
-  };
+  static bool NodeBefore(const HeapNode& a, const HeapNode& b) {
+    if (a.time != b.time) return a.time < b.time;
+    return a.seq < b.seq;
+  }
 
   uint32_t AllocateSlot();
   void ReleaseSlot(uint32_t slot);
-  void DiscardDeadEntries();
+  EventId Push(SimTime t, uint32_t slot);
+  /// Writes `node` at heap position `pos` and updates its slot's heap_pos.
+  void PlaceNode(size_t pos, const HeapNode& node);
+  void SiftUp(size_t pos, HeapNode node);
+  /// Removes the heap entry at `pos`, restoring the heap property (bottom-up
+  /// hole descent; see the definition).
+  void RemoveAt(size_t pos);
 
   std::vector<Slot> slots_;
+  /// Heap position of each scheduled slot, parallel to slots_. Kept out of
+  /// Slot on purpose: every sift step writes the moved node's position, and
+  /// a dense 4-byte array keeps those scattered writes an order of magnitude
+  /// more cache-friendly than striding through the full Slot records.
+  std::vector<uint32_t> heap_pos_;
   std::vector<uint32_t> free_slots_;
-  std::priority_queue<HeapEntry, std::vector<HeapEntry>, std::greater<>> heap_;
+  std::vector<HeapNode> heap_;
   uint64_t next_seq_ = 0;
-  size_t live_count_ = 0;
 };
 
 }  // namespace lazyrep::sim

@@ -11,11 +11,32 @@ Facility::Facility(Simulation* sim, std::string name, int servers)
   queue_stat_.Start(sim_->Now());
 }
 
+void Facility::Enqueue(Request* request) {
+  if (queue_tail_ == nullptr) {
+    queue_head_ = queue_tail_ = request;
+  } else {
+    queue_tail_->next = request;
+    queue_tail_ = request;
+  }
+  ++queue_len_;
+  queue_stat_.Set(sim_->Now(), static_cast<double>(queue_len_));
+}
+
+Facility::Request* Facility::Dequeue() {
+  Request* head = queue_head_;
+  queue_head_ = head->next;
+  if (queue_head_ == nullptr) queue_tail_ = nullptr;
+  head->next = nullptr;
+  --queue_len_;
+  queue_stat_.Set(sim_->Now(), static_cast<double>(queue_len_));
+  return head;
+}
+
 void Facility::StartService(Request* request) {
   ++busy_;
   busy_stat_.Set(sim_->Now(), busy_);
   if (request->work) {
-    request->service = request->work();
+    request->service = request->work() / request->work_rate;
   }
   sim_->ScheduleCallbackAt(sim_->Now() + request->service,
                            [this, request] { OnServiceComplete(request); });
@@ -26,11 +47,8 @@ void Facility::OnServiceComplete(Request* request) {
   busy_stat_.Set(sim_->Now(), busy_);
   ++completed_;
   request->done.Fire(WaitStatus::kSignaled);
-  if (!queue_.empty() && busy_ < servers_) {
-    Request* next = queue_.front();
-    queue_.pop_front();
-    queue_stat_.Set(sim_->Now(), static_cast<double>(queue_.size()));
-    StartService(next);
+  if (queue_head_ != nullptr && busy_ < servers_) {
+    StartService(Dequeue());
   }
 }
 
@@ -40,32 +58,32 @@ Task<WaitStatus> Facility::Use(SimTime service) {
   if (busy_ < servers_) {
     StartService(&request);
   } else {
-    queue_.push_back(&request);
-    queue_stat_.Set(sim_->Now(), static_cast<double>(queue_.size()));
+    Enqueue(&request);
   }
   co_return co_await request.done.Wait();
 }
 
 Task<WaitStatus> Facility::UseBounded(SimTime service, size_t queue_bound) {
-  if (busy_ >= servers_ && queue_.size() >= queue_bound) {
+  if (busy_ >= servers_ && queue_len_ >= queue_bound) {
     ++rejected_;
     co_return WaitStatus::kRejected;
   }
   co_return co_await Use(service);
 }
 
-Task<WaitStatus> Facility::Serve(WorkFn work, size_t queue_bound) {
-  if (busy_ >= servers_ && queue_.size() >= queue_bound) {
+Task<WaitStatus> Facility::Serve(WorkFn work, size_t queue_bound,
+                                 double work_rate) {
+  if (busy_ >= servers_ && queue_len_ >= queue_bound) {
     ++rejected_;
     co_return WaitStatus::kRejected;
   }
   Request request(sim_);
   request.work = std::move(work);
+  request.work_rate = work_rate;
   if (busy_ < servers_) {
     StartService(&request);
   } else {
-    queue_.push_back(&request);
-    queue_stat_.Set(sim_->Now(), static_cast<double>(queue_.size()));
+    Enqueue(&request);
   }
   co_return co_await request.done.Wait();
 }

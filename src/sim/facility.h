@@ -2,10 +2,10 @@
 #define LAZYREP_SIM_FACILITY_H_
 
 #include <cstdint>
-#include <deque>
 #include <string>
 
 #include "sim/condition.h"
+#include "sim/inline_function.h"
 #include "sim/process.h"
 #include "sim/simulation.h"
 #include "sim/stats.h"
@@ -22,6 +22,10 @@ namespace lazyrep::sim {
 /// UseBounded additionally rejects the request when the number of waiting
 /// requests has reached a bound — this models the paper's bounded request
 /// queue at the replication-graph site (§4.1.2).
+///
+/// The wait queue is intrusive: each Request (which lives on its awaiting
+/// coroutine's frame) carries the link pointer, so queuing performs no heap
+/// allocation.
 class Facility {
  public:
   Facility(Simulation* sim, std::string name, int servers = 1);
@@ -37,16 +41,20 @@ class Facility {
   Task<WaitStatus> UseBounded(SimTime service, size_t queue_bound);
 
   /// Work function evaluated when a Serve request reaches the server; it
-  /// performs the request's side effects and returns the service time they
-  /// cost. Running side effects at service start (not at enqueue) keeps
-  /// state mutations serialized in server order — required for the
-  /// single-threaded replication-graph manager.
-  using WorkFn = std::function<SimTime()>;
+  /// performs the request's side effects and returns the amount of work they
+  /// cost (in units of `work_rate` per second — seconds when work_rate is 1).
+  /// Running side effects at service start (not at enqueue) keeps state
+  /// mutations serialized in server order — required for the
+  /// single-threaded replication-graph manager. Captures must fit the
+  /// inline-callable budget; there is no heap fallback.
+  using WorkFn = InlineFunction<SimTime()>;
 
   /// FCFS service whose duration (and side effects) are determined when the
-  /// server picks the request up. Rejects like UseBounded when `queue_bound`
-  /// requests are waiting; pass SIZE_MAX for an unbounded queue.
-  Task<WaitStatus> Serve(WorkFn work, size_t queue_bound);
+  /// server picks the request up: the service time is work() / work_rate.
+  /// Rejects like UseBounded when `queue_bound` requests are waiting; pass
+  /// SIZE_MAX for an unbounded queue.
+  Task<WaitStatus> Serve(WorkFn work, size_t queue_bound,
+                         double work_rate = 1.0);
 
   /// Fraction of server capacity in use since the last ResetStats.
   double Utilization() const;
@@ -55,7 +63,7 @@ class Facility {
   double MeanQueueLength() const;
 
   /// Requests currently waiting (excluding those in service).
-  size_t queue_length() const { return queue_.size(); }
+  size_t queue_length() const { return queue_len_; }
 
   /// Servers currently busy.
   int busy_servers() const { return busy_; }
@@ -77,9 +85,13 @@ class Facility {
     explicit Request(Simulation* sim) : done(sim) {}
     OneShot done;
     SimTime service = 0;
+    double work_rate = 1.0;
     WorkFn work;  // when set, evaluated at service start to produce `service`
+    Request* next = nullptr;  // intrusive FIFO link
   };
 
+  void Enqueue(Request* request);
+  Request* Dequeue();
   void StartService(Request* request);
   void OnServiceComplete(Request* request);
 
@@ -87,7 +99,9 @@ class Facility {
   std::string name_;
   int servers_;
   int busy_ = 0;
-  std::deque<Request*> queue_;
+  Request* queue_head_ = nullptr;
+  Request* queue_tail_ = nullptr;
+  size_t queue_len_ = 0;
   TimeWeightedStat busy_stat_;
   TimeWeightedStat queue_stat_;
   uint64_t completed_ = 0;

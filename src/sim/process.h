@@ -7,8 +7,20 @@
 #include <utility>
 
 #include "sim/check.h"
+#include "sim/frame_pool.h"
 
 namespace lazyrep::sim {
+
+/// Mixin giving a coroutine promise pooled frame storage: frames are
+/// recycled through the thread-local frame pool instead of hitting the heap
+/// per spawn/await. The compiler passes the frame size to the sized delete,
+/// which is what lets the pool bucket blocks without a header.
+struct PooledFrame {
+  static void* operator new(size_t bytes) { return FramePoolAlloc(bytes); }
+  static void operator delete(void* ptr, size_t bytes) noexcept {
+    FramePoolFree(ptr, bytes);
+  }
+};
 
 /// Return type for top-level, detached simulation processes.
 ///
@@ -18,7 +30,7 @@ namespace lazyrep::sim {
 /// from the coroutine factory to Spawn and is not otherwise usable.
 class Process {
  public:
-  struct promise_type {
+  struct promise_type : PooledFrame {
     Process get_return_object() {
       return Process(std::coroutine_handle<promise_type>::from_promise(*this));
     }
@@ -71,7 +83,7 @@ class Process {
 template <typename T>
 class [[nodiscard]] Task {
  public:
-  struct promise_type {
+  struct promise_type : PooledFrame {
     std::coroutine_handle<> continuation;
     std::optional<T> value;
 
@@ -122,7 +134,7 @@ class [[nodiscard]] Task {
 template <>
 class [[nodiscard]] Task<void> {
  public:
-  struct promise_type {
+  struct promise_type : PooledFrame {
     std::coroutine_handle<> continuation;
 
     Task get_return_object() {

@@ -81,6 +81,13 @@ class Simulation {
   /// Number of pending events (cancellations excluded).
   size_t pending_events() const { return events_.Size(); }
 
+  /// Pre-sizes the event queue for `events` concurrent events (perf harness
+  /// warm-up; optional — the queue grows on demand either way).
+  void ReserveEvents(size_t events) { events_.Reserve(events); }
+
+  /// The underlying queue, for kernel diagnostics (heap occupancy checks).
+  const EventQueue& event_queue() const { return events_; }
+
  private:
   EventQueue events_;
   SimTime now_ = 0;

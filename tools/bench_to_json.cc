@@ -1,0 +1,67 @@
+// Converts key=value report lines (bench_kernel --report) into a JSON object.
+//
+//   ./bench_kernel --report | ./bench_to_json > BENCH_KERNEL.json
+//
+// Values that parse fully as numbers are emitted as JSON numbers, everything
+// else as strings. Lines without '=' are ignored, so the tool can sit at the
+// end of a pipeline that also prints diagnostics.
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+namespace {
+
+bool IsNumber(const std::string& s) {
+  if (s.empty()) return false;
+  char* end = nullptr;
+  std::strtod(s.c_str(), &end);
+  return end != nullptr && *end == '\0';
+}
+
+std::string EscapeJson(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    if (c == '"' || c == '\\') {
+      out.push_back('\\');
+      out.push_back(c);
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      char buf[8];
+      std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+      out += buf;
+    } else {
+      out.push_back(c);
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  std::vector<std::pair<std::string, std::string>> entries;
+  char line[4096];
+  while (std::fgets(line, sizeof(line), stdin) != nullptr) {
+    std::string s(line);
+    while (!s.empty() && (s.back() == '\n' || s.back() == '\r')) s.pop_back();
+    size_t eq = s.find('=');
+    if (eq == std::string::npos || eq == 0) continue;
+    entries.emplace_back(s.substr(0, eq), s.substr(eq + 1));
+  }
+
+  std::printf("{\n");
+  for (size_t i = 0; i < entries.size(); ++i) {
+    const auto& [key, value] = entries[i];
+    std::printf("  \"%s\": ", EscapeJson(key).c_str());
+    if (IsNumber(value)) {
+      std::printf("%s", value.c_str());
+    } else {
+      std::printf("\"%s\"", EscapeJson(value).c_str());
+    }
+    std::printf(i + 1 < entries.size() ? ",\n" : "\n");
+  }
+  std::printf("}\n");
+  return 0;
+}
