@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <string>
 
 #include "sim/check.h"
 
@@ -35,6 +36,8 @@ void SystemConfig::Normalize() {
   LAZYREP_CHECK(num_sites >= 1);
   LAZYREP_CHECK(tps > 0);
   LAZYREP_CHECK(workload.items_per_site >= 1);
+  std::string fault_error;
+  LAZYREP_CHECK_MSG(fault.Validate(&fault_error), fault_error.c_str());
 }
 
 SystemConfig SystemConfig::Oc3() {

@@ -63,6 +63,34 @@ std::string MetricsSnapshot::ToString() const {
     }
   }
 
+  // Recovery lines appear only in amnesia mode, so fail-silent and
+  // fault-free runs print exactly what they always printed.
+  if (site_recoveries || wal_forces || catchup_installs ||
+      indoubt_resolved_commit || indoubt_resolved_abort) {
+    std::snprintf(
+        buf, sizeof(buf),
+        "\nrecovery: replays %llu (%.4fs ±%.4f) | wal forces %llu "
+        "(%.1f KB) checkpoints %llu | replayed %llu recs (%.1f KB) | "
+        "catch-up installs %llu | in-doubt resolved %llu commit / %llu abort",
+        (unsigned long long)site_recoveries, recovery_replay.Mean(),
+        recovery_replay.HalfWidth95(), (unsigned long long)wal_forces,
+        wal_bytes_forced / 1024.0, (unsigned long long)wal_checkpoints,
+        (unsigned long long)wal_records_replayed, wal_bytes_replayed / 1024.0,
+        (unsigned long long)catchup_installs,
+        (unsigned long long)indoubt_resolved_commit,
+        (unsigned long long)indoubt_resolved_abort);
+    out += buf;
+  }
+
+  // Partition line appears only when partitions were scheduled.
+  if (partitions_injected || faults_injected_partition) {
+    std::snprintf(buf, sizeof(buf),
+                  "\npartitions: windows %llu legs-dropped %llu",
+                  (unsigned long long)partitions_injected,
+                  (unsigned long long)faults_injected_partition);
+    out += buf;
+  }
+
   // Eager 2PC line appears only under the eager protocol, so the lazy
   // protocols print exactly what they always printed.
   if (eager_lock_rounds || eager_prepares) {
@@ -91,6 +119,17 @@ std::string MetricsSnapshot::ToString() const {
                   (unsigned long long)history_reads,
                   serializable ? "" : " — ",
                   serializable ? "" : serializability_why.c_str());
+    out += buf;
+  }
+
+  // Convergence line appears only when the post-run replica audit ran.
+  if (replicas_converged >= 0) {
+    std::snprintf(buf, sizeof(buf),
+                  "\nreplicas converged: %s  stranded %llu%s%s",
+                  replicas_converged ? "yes" : "NO",
+                  (unsigned long long)stranded_txns,
+                  replicas_converged ? "" : " — ",
+                  replicas_converged ? "" : convergence_why.c_str());
     out += buf;
   }
   return out;

@@ -85,6 +85,31 @@ struct MetricsSnapshot {
   /// Availability of the graph site endpoint (1 for locking).
   double graph_availability = 1.0;
 
+  // -- crash recovery (nonzero only in amnesia mode) --------------------------
+
+  /// Completed log replays (recoveries that reached serving state).
+  uint64_t site_recoveries = 0;
+  /// Wall-clock seconds per completed replay (analysis + redo).
+  sim::TallyStat recovery_replay;
+  /// WAL forces (group-committed log writes) across the database sites.
+  uint64_t wal_forces = 0;
+  /// Bytes those forces pushed to disk.
+  uint64_t wal_bytes_forced = 0;
+  /// Durable fuzzy checkpoints taken.
+  uint64_t wal_checkpoints = 0;
+  /// Redo records scanned by recovery replays.
+  uint64_t wal_records_replayed = 0;
+  /// Log bytes those replays read back.
+  uint64_t wal_bytes_replayed = 0;
+  /// Replica installs performed by post-recovery log-shipping catch-up.
+  uint64_t catchup_installs = 0;
+  /// Eager in-doubt transactions resolved after a crash, by outcome.
+  uint64_t indoubt_resolved_commit = 0;
+  uint64_t indoubt_resolved_abort = 0;
+  /// Partition windows that activated / delivery legs they dropped.
+  uint64_t partitions_injected = 0;
+  uint64_t faults_injected_partition = 0;
+
   // -- eager 2PC (nonzero only under the eager protocol) ----------------------
 
   /// Replica-X-lock acquisition rounds started (one per written item,
@@ -112,6 +137,17 @@ struct MetricsSnapshot {
   uint64_t history_reads = 0;
   /// One offending MVSG cycle's description; empty unless serializable == 0.
   std::string serializability_why;
+
+  // -- post-run replica audit (filled only by RunAll's post_run_audit) --------
+
+  /// Post-drain convergence verdict: -1 = not checked, 1 = every replica of
+  /// every item holds the same version at every replica-holding site after
+  /// faults heal and propagation quiesces, 0 = divergence found.
+  int replicas_converged = -1;
+  /// Transactions still live after the post-run drain (liveness check).
+  uint64_t stranded_txns = 0;
+  /// Description of the first divergence; empty unless converged == 0.
+  std::string convergence_why;
 
   std::string ToString() const;
 };

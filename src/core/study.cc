@@ -1,5 +1,6 @@
 #include "core/study.h"
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -9,6 +10,7 @@
 #include "core/history.h"
 #include "core/parallel.h"
 #include "core/system.h"
+#include "sim/random.h"
 
 namespace lazyrep::core {
 
@@ -26,7 +28,8 @@ uint64_t DerivePointSeed(const std::string& study_name, ProtocolKind protocol,
 
 std::vector<MetricsSnapshot> RunAll(
     const std::vector<RunSpec>& specs, int jobs, bool check_serializability,
-    const std::function<void(size_t, const MetricsSnapshot&)>& on_done) {
+    const std::function<void(size_t, const MetricsSnapshot&)>& on_done,
+    bool post_run_audit) {
   std::vector<MetricsSnapshot> snaps(specs.size());
   std::mutex done_mu;
   ParallelFor(jobs, specs.size(), [&](size_t i) {
@@ -41,6 +44,15 @@ std::vector<MetricsSnapshot> RunAll(
       snap.history_reads = history.reads_recorded();
       snap.serializability_why = std::move(why);
     }
+    if (post_run_audit) {
+      // Run() has already drained: faults are healed and assured traffic
+      // has landed, so divergence or a live transaction here is a bug, not
+      // an in-flight artifact.
+      std::string why;
+      snap.replicas_converged = system.ReplicasConverged(&why) ? 1 : 0;
+      snap.convergence_why = std::move(why);
+      snap.stranded_txns = system.LiveTxns();
+    }
     if (on_done) {
       std::lock_guard<std::mutex> lock(done_mu);
       on_done(i, snap);
@@ -48,6 +60,74 @@ std::vector<MetricsSnapshot> RunAll(
     snaps[i] = std::move(snap);
   });
   return snaps;
+}
+
+SystemConfig MakeChaosConfig(const ChaosOptions& opt, ProtocolKind protocol,
+                             int schedule) {
+  SystemConfig c;
+  c.num_sites = 5;
+  c.workload.items_per_site = 10;
+  c.network.latency = 0.002;
+  c.network.bandwidth_bps = 155e6;
+  c.total_txns = opt.txns;
+  c.seed = DerivePointSeed("chaos", protocol, static_cast<double>(schedule),
+                           opt.seed);
+  // The fault script draws from its own stream, decorrelated from the run
+  // seed the workload generators consume.
+  sim::RandomStream rng(c.seed ^ 0x9e3779b97f4a7c15ULL);
+  c.tps = 40.0 + rng.Uniform(0.0, 20.0);
+  const double horizon = static_cast<double>(opt.txns) / c.tps;
+  const double fault_window = std::max(0.4, horizon * 0.7);
+
+  // Message faults: about half the schedules lose packets, fewer duplicate.
+  if (rng.Chance(0.5)) c.fault.loss_prob = rng.Uniform(0.001, 0.03);
+  if (rng.Chance(0.3)) c.fault.dup_prob = rng.Uniform(0.001, 0.02);
+
+  // Crash mix: an MTBF rotation, scripted outages, or both. Scripted
+  // windows land on distinct endpoints so they can never overlap
+  // (FaultParams::Validate rejects same-endpoint overlap).
+  if (rng.Chance(0.6)) {
+    c.fault.site_mtbf = rng.Uniform(3.0, 12.0);
+    c.fault.site_mttr = rng.Uniform(0.2, 1.0);
+  }
+  int scripted = static_cast<int>(rng.UniformInt(0, 2));
+  int first_endpoint =
+      scripted > 0 ? static_cast<int>(rng.UniformInt(0, c.num_sites - 1)) : 0;
+  for (int i = 0; i < scripted; ++i) {
+    fault::ScheduledCrash crash;
+    crash.endpoint = (first_endpoint + i) % c.num_sites;
+    crash.at = rng.Uniform(0.2, fault_window);
+    crash.duration = rng.Uniform(0.1, 0.8);
+    c.fault.crashes.push_back(crash);
+  }
+
+  // 0-2 partition windows, each cutting one or two sites off the rest.
+  int parts = static_cast<int>(rng.UniformInt(0, 2));
+  for (int i = 0; i < parts; ++i) {
+    fault::ScheduledPartition part;
+    int group_lead = static_cast<int>(rng.UniformInt(0, c.num_sites - 1));
+    part.group.push_back(group_lead);
+    if (rng.Chance(0.5)) part.group.push_back((group_lead + 1) % c.num_sites);
+    part.at = rng.Uniform(0.2, fault_window);
+    part.duration = rng.Uniform(0.1, 0.6);
+    c.fault.partitions.push_back(part);
+  }
+
+  // A schedule where every draw came up empty would disable the injector
+  // outright (fault.enabled() false); give it one outage so every schedule
+  // exercises the crash path.
+  if (!c.fault.enabled()) {
+    fault::ScheduledCrash crash;
+    crash.endpoint = static_cast<int>(rng.UniformInt(0, c.num_sites - 1));
+    crash.at = rng.Uniform(0.2, fault_window);
+    crash.duration = rng.Uniform(0.2, 0.8);
+    c.fault.crashes.push_back(crash);
+  }
+
+  c.fault.amnesia = true;
+  c.fault.checkpoint_interval = rng.Uniform(1.0, 5.0);
+  c.Normalize();
+  return c;
 }
 
 StudyRunner::StudyRunner(std::string name, ConfigFn make_config)

@@ -38,11 +38,16 @@ struct RunSpec {
 /// With `check_serializability`, each run records its history and the
 /// snapshot's serializability fields report the per-run MVSG verdict.
 /// `on_done(i, snap)`, when given, fires once per finished spec under an
-/// internal mutex (progress reporting).
+/// internal mutex (progress reporting). With `post_run_audit`, each
+/// snapshot's replica-audit fields (replicas_converged, stranded_txns,
+/// convergence_why) are filled after the run's drain: with faults healed
+/// and propagation quiesced, every replica must hold the same version and
+/// no transaction may be stranded mid-coordination.
 std::vector<MetricsSnapshot> RunAll(
     const std::vector<RunSpec>& specs, int jobs,
     bool check_serializability = false,
-    const std::function<void(size_t, const MetricsSnapshot&)>& on_done = {});
+    const std::function<void(size_t, const MetricsSnapshot&)>& on_done = {},
+    bool post_run_audit = false);
 
 /// Runs a parameter sweep for each protocol and collects the paper's
 /// metrics. The benches use one StudyRunner per study (OC-3, OC-1, OC-1*,
@@ -85,6 +90,28 @@ class StudyRunner {
   int jobs_ = 0;
   bool check_serializability_ = false;
 };
+
+/// Chaos-audit knobs (bench_chaos). Every schedule is one small fleet put
+/// through a randomized mix of site crashes (scripted and MTBF-driven),
+/// network partitions, message loss and duplication — with amnesia crash
+/// semantics on, so crashes wipe volatile state and recovery replays the
+/// WAL — then audited for one-copy serializability, replica convergence
+/// and liveness.
+struct ChaosOptions {
+  uint64_t txns = 400;  ///< transactions per schedule
+  uint64_t seed = 1;    ///< base seed; schedules derive from it by identity
+};
+
+/// Builds the fully-specified configuration of chaos schedule `schedule`
+/// for `protocol`. A pure function of its arguments: the schedule's fault
+/// script and the run seed both derive from
+/// DerivePointSeed("chaos", protocol, schedule, opt.seed), so the same
+/// (options, protocol, schedule) triple always produces a bit-identical
+/// run regardless of --jobs, scheduling order, or which subset of
+/// schedules is selected. Every generated script passes
+/// FaultParams::Validate and injects at least one fault.
+SystemConfig MakeChaosConfig(const ChaosOptions& opt, ProtocolKind protocol,
+                             int schedule);
 
 /// Extracts the y value a figure plots from a measured point.
 using SeriesFn = std::function<double(const MetricsSnapshot&)>;

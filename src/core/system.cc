@@ -1,6 +1,7 @@
 #include "core/system.h"
 
 #include <algorithm>
+#include <cstdio>
 #include <utility>
 
 #include "protocols/eager/eager_protocol.h"
@@ -63,6 +64,32 @@ System::System(const SystemConfig& config, ProtocolKind kind)
       }
     });
     downtime_at_window_.assign(config_.num_sites + 1, 0.0);
+    if (config_.fault.amnesia) {
+      site_epochs_.assign(config_.num_sites, 0);
+      serving_waiters_.resize(config_.num_sites + 1);
+      wals_.reserve(config_.num_sites);
+      for (int s = 0; s < config_.num_sites; ++s) {
+        wals_.push_back(std::make_unique<fault::SiteWal>(&sites_[s]->disk,
+                                                         config_.fault));
+      }
+      injector_->set_crash_hook([this](int e) { OnSiteCrash(e); });
+      injector_->set_recovery_hook([this](int e) {
+        // Defer through a zero-delay callback: FinishRecovery must not run
+        // synchronously inside Recover() — the MTBF rotation inspects the
+        // recovering flag right after Recover returns and would double-
+        // schedule itself (a replay with nothing to scan completes without
+        // suspending, and the graph endpoint's is always free).
+        sim_.ScheduleCallbackAt(sim_.Now(), [this, e] {
+          if (e == graph_endpoint()) {
+            // The graph site holds no durable state: recovery is instant.
+            injector_->FinishRecovery(e);
+            FireServingWaiters(e);
+          } else {
+            sim_.Spawn(RecoverSiteProcess(e));
+          }
+        });
+      });
+    }
   }
 
   switch (kind_) {
@@ -250,6 +277,172 @@ sim::Task<bool> System::SendPayloadReliable(db::SiteId from, db::SiteId to,
                                     config_.fault.max_retries);
 }
 
+sim::Task<void> System::AwaitServing(int e) {
+  if (!amnesia()) co_return;
+  while (!injector_->IsUp(e) || injector_->Recovering(e)) {
+    sim::OneShot shot(&sim_);
+    serving_waiters_[e].push_back(&shot);
+    co_await shot.Wait();
+  }
+}
+
+sim::Task<bool> System::ForceCommitRecord(txn::Transaction* t) {
+  Site& origin = site(t->origin);
+  if (!amnesia()) {
+    co_await origin.disk.ForceLog(config_.log_bytes);
+    co_return true;
+  }
+  if (LostToCrash(*t)) co_return false;  // already wiped: nothing to commit
+  fault::SiteWal* w = wals_[t->origin].get();
+  for (db::ItemId item : t->write_set) {
+    if (config_.HasReplica(item, t->origin)) {
+      w->Append(fault::WalRecordType::kItemWrite, config_.item_bytes);
+    }
+  }
+  w->Append(fault::WalRecordType::kCommit, 0);
+  bool forced = co_await w->Force();
+  // A crash between the append and the force's completion loses the commit
+  // record even if the platter write finished in some interleaving: only a
+  // force completed within the transaction's birth epoch commits.
+  bool ok = forced && !LostToCrash(*t);
+  if (ok) t->commit_durable = true;
+  co_return ok;
+}
+
+void System::OnSiteCrash(int e) {
+  if (e == graph_endpoint()) {
+    // The graph site keeps no replicas and no locks; its crash stays
+    // fail-silent (RGtest requests simply go unanswered until recovery).
+    return;
+  }
+  ++site_epochs_[e];
+  fault::SiteWal* w = wals_[e].get();
+  w->OnCrash();
+  channel_->OnEndpointCrash(static_cast<db::SiteId>(e));
+  site(static_cast<db::SiteId>(e))
+      .locks.CrashReset([this, e, w](db::TxnId id) {
+        // Survivors of the wipe: 2PC participants with a durable prepare
+        // record (their X locks are re-acquired from the log — the in-doubt
+        // protocol forbids releasing them unilaterally), and transactions
+        // that committed here with a durable commit record (their strict-2PL
+        // holds are part of the logged state recovery re-establishes).
+        if (w->InDoubt(id)) return true;
+        txn::Transaction* t = FindTxn(id);
+        return t != nullptr && t->origin == e &&
+               (t->commit_durable || t->state == txn::TxnState::kCommitted);
+      });
+}
+
+sim::Process System::RecoverSiteProcess(int e) {
+  if (!injector_->Recovering(e)) co_return;  // re-crashed before we started
+  uint32_t epoch = site_epochs_[e];
+  sim::SimTime start = sim_.Now();
+  Site& st = site(static_cast<db::SiteId>(e));
+  fault::SiteWal* w = wals_[e].get();
+  size_t bytes = w->replay_bytes();
+  uint64_t records = w->replay_records();
+  // Analysis + redo: sequentially scan the log back to the last durable
+  // checkpoint, then re-apply each redo record's CPU work. The in-doubt set
+  // and store state need no explicit reconstruction — the simulation kept
+  // them (they model exactly what the log would rebuild).
+  if (bytes > 0) co_await st.disk.ReadLog(bytes);
+  double replay_instr = config_.fault.replay_instr_per_record *
+                        static_cast<double>(records);
+  if (replay_instr > 0) co_await st.cpu.Execute(replay_instr);
+  if (site_epochs_[e] != epoch || !injector_->Recovering(e)) {
+    co_return;  // re-crashed mid-replay (or the run ended): abandon
+  }
+  w->OnReplayComplete();
+  ++site_recoveries_;
+  recovery_replay_.Add(sim_.Now() - start);
+  injector_->FinishRecovery(e);
+  FireServingWaiters(e);
+}
+
+sim::Process System::CheckpointProcess(db::SiteId s) {
+  // Phase-offset the fleet so the checkpoints of different sites do not
+  // synchronize into one disk-force convoy.
+  double interval = config_.fault.checkpoint_interval;
+  co_await sim_.Delay(interval * (s + 1) / (config_.num_sites + 1.0));
+  while (!done_) {
+    co_await sim_.Delay(interval);
+    if (done_) break;
+    if (!injector_->IsUp(s) || injector_->Recovering(s)) continue;
+    fault::SiteWal* w = wals_[s].get();
+    w->Append(fault::WalRecordType::kCheckpoint, 0);
+    // Only a force that completed crash-free moves the replay horizon.
+    if (co_await w->Force()) w->OnCheckpointDurable();
+  }
+}
+
+void System::FireServingWaiters(int e) {
+  if (serving_waiters_.empty()) return;
+  std::vector<sim::OneShot*> waiters;
+  waiters.swap(serving_waiters_[e]);
+  for (sim::OneShot* shot : waiters) shot->Fire(sim::WaitStatus::kSignaled);
+}
+
+bool System::ReplicasConverged(std::string* why) {
+  for (int item = 0; item < config_.total_items(); ++item) {
+    db::ItemId id = static_cast<db::ItemId>(item);
+    bool have = false;
+    db::Timestamp ref{};
+    int ref_site = -1;
+    for (int s = 0; s < config_.num_sites; ++s) {
+      if (!config_.HasReplica(id, static_cast<db::SiteId>(s))) continue;
+      db::Timestamp v = site(static_cast<db::SiteId>(s)).store.VersionOf(id);
+      if (!have) {
+        have = true;
+        ref = v;
+        ref_site = s;
+        continue;
+      }
+      if (v != ref) {
+        if (why != nullptr) {
+          char buf[160];
+          std::snprintf(buf, sizeof(buf),
+                        "item %d: site %d holds txn %llu @%.6f but site %d "
+                        "holds txn %llu @%.6f",
+                        item, ref_site, (unsigned long long)ref.txn, ref.time,
+                        s, (unsigned long long)v.txn, v.time);
+          *why = buf;
+        }
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+void System::DebugDumpLive(std::FILE* out) {
+  static const char* kStateNames[] = {"active", "committed", "aborted",
+                                      "completed"};
+  for (const auto& [id, t] : txns_) {
+    if (t->state == txn::TxnState::kAborted ||
+        t->state == txn::TxnState::kCompleted) {
+      continue;
+    }
+    std::fprintf(out,
+                 "  live txn %llu: origin=%d state=%s update=%d epoch=%u/%u "
+                 "writes=%zu origin_locks=%zu\n",
+                 (unsigned long long)id, t->origin,
+                 kStateNames[static_cast<int>(t->state)], t->is_update ? 1 : 0,
+                 t->born_epoch, SiteEpoch(t->origin), t->write_set.size(),
+                 site(t->origin).locks.HeldItems(id).size());
+  }
+  for (int s = 0; s < config_.num_sites; ++s) {
+    for (const auto& [id, t] : txns_) {
+      std::vector<db::ItemId> held =
+          site(static_cast<db::SiteId>(s)).locks.HeldItems(id);
+      if (held.empty()) continue;
+      std::fprintf(out, "  site %d: txn %llu holds", s,
+                   (unsigned long long)id);
+      for (db::ItemId item : held) std::fprintf(out, " %u", item);
+      std::fprintf(out, "\n");
+    }
+  }
+}
+
 void System::DeliverEdges(const ConflictEdges& edges) {
   for (const auto& [dep, pred] : edges) {
     if (tracker_.IsLive(dep)) tracker_.AddPredecessor(dep, pred);
@@ -344,6 +537,7 @@ void System::Submit(db::SiteId s, sim::RandomStream* rng) {
   txn::Transaction t = generator_.Generate(id, s, rng);
   t.submit_time = sim_.Now();
   t.ts = db::Timestamp{sim_.Now(), id};
+  t.born_epoch = amnesia() ? site_epochs_[s] : 0;
   ++submitted_;
   ++site_submitted_[s];
   if (!window_open_ &&
@@ -406,6 +600,12 @@ void System::ResetAllStats() {
     }
   }
   if (channel_) channel_->ResetStats();
+  for (auto& w : wals_) w->ResetStats();
+  site_recoveries_ = 0;
+  recovery_replay_.Clear();
+  catchup_installs_ = 0;
+  indoubt_commit_ = 0;
+  indoubt_abort_ = 0;
 }
 
 void System::Freeze(MetricsSnapshot* snap) {
@@ -465,15 +665,36 @@ void System::Freeze(MetricsSnapshot* snap) {
                    downtime_at_window_[config_.num_sites];
     snap->graph_availability =
         1.0 - std::min(1.0, std::max(0.0, gdown) / snap->duration);
+    snap->partitions_injected = injector_->partitions_activated();
+    snap->faults_injected_partition = injector_->partition_drops();
   }
   if (channel_) {
     snap->retransmissions = channel_->retransmissions();
     snap->msg_send_failures = channel_->send_failures();
   }
+  if (amnesia()) {
+    snap->site_recoveries = site_recoveries_;
+    snap->recovery_replay = recovery_replay_;
+    snap->catchup_installs = catchup_installs_;
+    snap->indoubt_resolved_commit = indoubt_commit_;
+    snap->indoubt_resolved_abort = indoubt_abort_;
+    for (auto& w : wals_) {
+      snap->wal_forces += w->forces();
+      snap->wal_bytes_forced += w->bytes_forced();
+      snap->wal_checkpoints += w->checkpoints();
+      snap->wal_records_replayed += w->records_replayed();
+      snap->wal_bytes_replayed += w->bytes_replayed();
+    }
+  }
 }
 
 MetricsSnapshot System::Run() {
   if (injector_) injector_->Start();
+  if (amnesia()) {
+    for (int s = 0; s < config_.num_sites; ++s) {
+      sim_.Spawn(CheckpointProcess(static_cast<db::SiteId>(s)));
+    }
+  }
   sim::RandomStream seeder(config_.seed);
   for (int s = 0; s < config_.num_sites; ++s) {
     sim_.Spawn(GeneratorProcess(static_cast<db::SiteId>(s), seeder.Fork()));
@@ -487,6 +708,11 @@ MetricsSnapshot System::Run() {
   // Cease fault activity before draining: pending retransmissions must be
   // able to land so every waiter resolves before the System is torn down.
   if (injector_) injector_->Stop();
+  // Stop() force-revived every endpoint; release any catch-up coroutines
+  // still parked on a serving wait so the drain can complete them.
+  for (size_t e = 0; e < serving_waiters_.size(); ++e) {
+    FireServingWaiters(static_cast<int>(e));
+  }
   // Drain in-flight work (uncounted — the snapshot is frozen) so coroutine
   // frames and waiters resolve before the System is torn down. A generous
   // horizon guards against pathological non-termination.

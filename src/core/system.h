@@ -1,6 +1,7 @@
 #ifndef LAZYREP_CORE_SYSTEM_H_
 #define LAZYREP_CORE_SYSTEM_H_
 
+#include <cstdio>
 #include <deque>
 #include <memory>
 #include <string>
@@ -15,6 +16,7 @@
 #include "db/item_store.h"
 #include "fault/fault_injector.h"
 #include "fault/reliable_channel.h"
+#include "fault/wal.h"
 #include "hw/cpu.h"
 #include "hw/disk.h"
 #include "net/star_network.h"
@@ -133,6 +135,66 @@ class System {
   fault::FaultInjector* injector() { return injector_.get(); }
   fault::ReliableChannel* channel() { return channel_.get(); }
 
+  // -- amnesia crash semantics (all no-ops unless fault.amnesia) --------------
+
+  /// True when crashes wipe volatile state and recovery replays the log.
+  bool amnesia() const { return injector_ != nullptr && config_.fault.amnesia; }
+
+  /// Crash epoch of site `s`: bumped on every amnesia crash. A transaction
+  /// whose origin epoch moved past its birth epoch was lost with the crash.
+  uint32_t SiteEpoch(int s) const {
+    return site_epochs_.empty() ? 0 : site_epochs_[s];
+  }
+
+  /// True when `t`'s origin site crashed since `t` was submitted: its locks,
+  /// in-flight state and any unforced log records are gone, so the executing
+  /// coroutine must abort with AbortCause::kSiteFailure at its next commit
+  /// point (never commit on state that did not survive).
+  bool LostToCrash(const txn::Transaction& t) const {
+    return amnesia() && site_epochs_[t.origin] != t.born_epoch;
+  }
+
+  /// Per-site write-ahead log; null unless amnesia mode.
+  fault::SiteWal* wal(db::SiteId s) {
+    return s < static_cast<db::SiteId>(wals_.size()) ? wals_[s].get() : nullptr;
+  }
+
+  /// Resolves once `e` is up and not mid-replay. Resolves immediately when
+  /// fault injection is off or the endpoint is already serving.
+  sim::Task<void> AwaitServing(int e);
+
+  /// Commit-point durability at `t`'s origin. Amnesia mode: stages one redo
+  /// record per write-set page plus the commit record and forces the WAL —
+  /// resolves true only if the force completed in `t`'s birth epoch (a crash
+  /// mid-force loses the commit record; the caller must abort with
+  /// kSiteFailure). Legacy mode: the classic log force, always true.
+  sim::Task<bool> ForceCommitRecord(txn::Transaction* t);
+
+  /// Recovery-metric hooks for the protocols.
+  void NoteCatchupInstall() { ++catchup_installs_; }
+  void NoteInDoubtResolved(bool committed) {
+    if (committed) {
+      ++indoubt_commit_;
+    } else {
+      ++indoubt_abort_;
+    }
+  }
+
+  /// Post-drain audit: true when every replica-holding site stores the same
+  /// version of every item. On divergence fills `why` with the first
+  /// offending (item, site-pair) and returns false.
+  bool ReplicasConverged(std::string* why);
+
+  /// Transactions submitted but not yet terminal (measured or not). Zero
+  /// after a clean post-run drain; nonzero means a coroutine is stranded on
+  /// a wait that never resolved (the chaos harness's liveness audit).
+  uint64_t LiveTxns() const { return submitted_ - terminal_; }
+
+  /// Chaos-triage diagnostic: prints every live (non-terminal) transaction —
+  /// id, origin, state, birth epoch vs the origin's current epoch, and the
+  /// locks it still holds at its origin — to `out`.
+  void DebugDumpLive(std::FILE* out);
+
   /// Control message with ack + capped retransmission. Resolves true once the
   /// message (and its ack) got through; false when the retry budget ran out —
   /// the caller must abort the transaction with AbortCause::kUnavailable.
@@ -220,6 +282,21 @@ class System {
   void ResetAllStats();
   void Freeze(MetricsSnapshot* snap);
 
+  // -- amnesia crash plumbing -------------------------------------------------
+
+  /// Injector crash hook: bumps the site's epoch, wipes its volatile state
+  /// (WAL append buffer, channel dedup state, lock manager) keeping only
+  /// logged survivors (in-doubt participants, committed-at-origin holders).
+  void OnSiteCrash(int e);
+  /// Costed replay (ARIES-style analysis+redo from the last checkpoint).
+  /// Abandons silently if the site re-crashes mid-replay.
+  sim::Process RecoverSiteProcess(int e);
+  /// Periodic fuzzy checkpoints: stage a checkpoint record, force, and only
+  /// a completed force truncates the replay window.
+  sim::Process CheckpointProcess(db::SiteId s);
+  /// Releases every AwaitServing waiter parked on `e`.
+  void FireServingWaiters(int e);
+
   SystemConfig config_;
   ProtocolKind kind_;
   sim::Simulation sim_;
@@ -236,6 +313,15 @@ class System {
   std::unique_ptr<fault::ReliableChannel> channel_;
   /// Per-endpoint downtime at measurement-window start (availability base).
   std::vector<double> downtime_at_window_;
+  // Amnesia-mode state; empty/zero otherwise.
+  std::vector<uint32_t> site_epochs_;
+  std::vector<std::unique_ptr<fault::SiteWal>> wals_;
+  std::vector<std::vector<sim::OneShot*>> serving_waiters_;
+  uint64_t site_recoveries_ = 0;
+  sim::TallyStat recovery_replay_;
+  uint64_t catchup_installs_ = 0;
+  uint64_t indoubt_commit_ = 0;
+  uint64_t indoubt_abort_ = 0;
   std::unique_ptr<proto::Protocol> protocol_;
   std::unordered_map<db::TxnId, std::unique_ptr<txn::Transaction>> txns_;
   std::unordered_map<db::TxnId, std::unique_ptr<sim::OneShot>>

@@ -187,6 +187,33 @@ void LockManager::ReleaseAll(TxnId txn) {
   }
 }
 
+void LockManager::CrashReset(const std::function<bool(TxnId)>& keep) {
+  // Phase 1: detach every waiter and filter holders while the table is in a
+  // consistent state. Shots fire through the event queue (non-reentrant),
+  // but collecting first keeps the walk independent of resume order anyway.
+  std::vector<Waiter*> cancelled;
+  for (auto it = locks_.begin(); it != locks_.end();) {
+    ItemLock& lock = it->second;
+    while (!lock.queue.empty()) cancelled.push_back(lock.queue.PopFront());
+    std::erase_if(lock.holders,
+                  [&keep](const auto& p) { return !keep(p.first); });
+    if (lock.holders.empty()) {
+      it = locks_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  // Phase 2: rebuild the per-transaction held index from what survived.
+  held_.clear();
+  for (const auto& [item, lock] : locks_) {
+    for (const auto& [holder, mode] : lock.holders) {
+      held_[holder].push_back(item);
+    }
+  }
+  // Phase 3: wake the cancelled waiters; their Acquire frames clean up.
+  for (Waiter* w : cancelled) w->shot.Fire(sim::WaitStatus::kCancelled);
+}
+
 bool LockManager::Holds(TxnId txn, ItemId item, LockMode mode) const {
   auto it = locks_.find(item);
   if (it == locks_.end()) return false;

@@ -2,6 +2,7 @@
 #define LAZYREP_DB_LOCK_MANAGER_H_
 
 #include <cstdint>
+#include <functional>
 #include <unordered_map>
 #include <vector>
 
@@ -65,6 +66,13 @@ class LockManager {
 
   /// Releases all locks held by `txn`.
   void ReleaseAll(TxnId txn);
+
+  /// Amnesia-crash wipe: drops every held lock except those of transactions
+  /// `keep` selects (recovery re-establishes locks of in-doubt and locally
+  /// committed transactions from the log), and cancels every waiting request
+  /// (their Acquire calls resume with kCancelled). Waiters resume through
+  /// the event queue, never inside this call.
+  void CrashReset(const std::function<bool(TxnId)>& keep);
 
   /// True if `txn` currently holds at least `mode` on `item`.
   bool Holds(TxnId txn, ItemId item, LockMode mode) const;

@@ -1,5 +1,7 @@
 #include "fault/fault_injector.h"
 
+#include <string>
+
 #include "sim/check.h"
 
 namespace lazyrep::fault {
@@ -10,15 +12,28 @@ FaultInjector::FaultInjector(sim::Simulation* sim, int num_endpoints,
       params_(params),
       rng_(seed),
       up_(num_endpoints, true),
+      recovering_(num_endpoints, false),
       incoming_(num_endpoints,
                 EndpointFaults{params.loss_prob, params.dup_prob}),
       downtime_(num_endpoints, 0),
       down_since_(num_endpoints, 0),
       pending_(num_endpoints) {
   LAZYREP_CHECK(num_endpoints >= 1);
+  std::string error;
+  LAZYREP_CHECK_MSG(params_.Validate(&error), error.c_str());
   for (const LinkFault& lf : params_.link_faults) {
     LAZYREP_CHECK(lf.endpoint >= 0 && lf.endpoint < num_endpoints);
     incoming_[lf.endpoint] = EndpointFaults{lf.loss_prob, lf.dup_prob};
+  }
+  partitions_.reserve(params_.partitions.size());
+  for (const ScheduledPartition& sp : params_.partitions) {
+    Partition p;
+    p.member.assign(num_endpoints, 0);
+    for (int e : sp.group) {
+      LAZYREP_CHECK(e >= 0 && e < num_endpoints);
+      p.member[e] = 1;
+    }
+    partitions_.push_back(std::move(p));
   }
 }
 
@@ -33,6 +48,15 @@ void FaultInjector::Start() {
     pending_.push_back(sim_->ScheduleCallbackAt(c.at + c.duration,
                                                 [this, e] { Recover(e); }));
   }
+  for (size_t i = 0; i < partitions_.size(); ++i) {
+    const ScheduledPartition& sp = params_.partitions[i];
+    pending_.push_back(sim_->ScheduleCallbackAt(sp.at, [this, i] {
+      partitions_[i].active = true;
+      ++partitions_activated_;
+    }));
+    pending_.push_back(sim_->ScheduleCallbackAt(
+        sp.at + sp.duration, [this, i] { partitions_[i].active = false; }));
+  }
   if (params_.site_mtbf > 0) {
     // The graph site is the last endpoint; it crashes only when asked for.
     int crashable = num_endpoints() - (params_.crash_graph_site ? 0 : 1);
@@ -42,16 +66,32 @@ void FaultInjector::Start() {
   }
 }
 
+bool FaultInjector::InMtbfRotation(int endpoint) const {
+  if (params_.site_mtbf <= 0) return false;
+  int crashable = num_endpoints() - (params_.crash_graph_site ? 0 : 1);
+  return endpoint < crashable;
+}
+
 void FaultInjector::ScheduleMtbfTransition(int endpoint) {
+  // A scripted outage can restart the rotation (via FinishRecovery) while
+  // the rotation's previous draw is still scheduled. Overwriting the slot
+  // would orphan that event: Stop() could no longer cancel it and it would
+  // fire a crash into the post-measurement drain. Cancel-before-overwrite
+  // keeps the invariant of at most one live rotation event per endpoint.
+  sim_->Cancel(pending_[endpoint]);
   double mean = up_[endpoint] ? params_.site_mtbf : params_.site_mttr;
   double at = sim_->Now() + rng_.Exponential(mean);
   pending_[endpoint] = sim_->ScheduleCallbackAt(at, [this, endpoint] {
     if (up_[endpoint]) {
       Crash(endpoint);
+      ScheduleMtbfTransition(endpoint);
     } else {
       Recover(endpoint);
+      // With a recovery hook the endpoint is now *recovering*; its rotation
+      // parks until FinishRecovery. Without one (fail-silent), this is the
+      // legacy flow with an identical draw sequence.
+      if (!recovering_[endpoint]) ScheduleMtbfTransition(endpoint);
     }
-    ScheduleMtbfTransition(endpoint);
   });
 }
 
@@ -60,20 +100,54 @@ void FaultInjector::Stop() {
   stopped_ = true;
   for (sim::EventId id : pending_) sim_->Cancel(id);
   pending_.clear();
-  for (int e = 0; e < num_endpoints(); ++e) Recover(e);
+  for (Partition& p : partitions_) p.active = false;
+  // Force-revive without the hooks: replays in flight notice the cleared
+  // recovering flag and abandon; drain mode needs every endpoint reachable.
+  for (int e = 0; e < num_endpoints(); ++e) {
+    recovering_[e] = false;
+    if (!up_[e]) {
+      up_[e] = true;
+      downtime_[e] += sim_->Now() - down_since_[e];
+    }
+  }
 }
 
 void FaultInjector::Crash(int endpoint) {
-  if (!up_[endpoint]) return;
+  if (stopped_) return;  // drain mode: no new outages, ever
+  if (!up_[endpoint]) {
+    // A crash while recovering abandons the replay: the wipe fires again
+    // (idempotent) and the endpoint waits for its next recovery trigger.
+    if (recovering_[endpoint]) {
+      recovering_[endpoint] = false;
+      ++crashes_;
+      if (crash_hook_) crash_hook_(endpoint);
+    }
+    return;
+  }
   up_[endpoint] = false;
   down_since_[endpoint] = sim_->Now();
   ++crashes_;
+  if (crash_hook_) crash_hook_(endpoint);
 }
 
 void FaultInjector::Recover(int endpoint) {
-  if (up_[endpoint]) return;
+  if (stopped_) return;  // Stop() already force-revived everything
+  if (up_[endpoint] || recovering_[endpoint]) return;
+  if (recovery_hook_) {
+    recovering_[endpoint] = true;
+    recovery_hook_(endpoint);  // starts the costed replay; stays down
+    return;
+  }
   up_[endpoint] = true;
   downtime_[endpoint] += sim_->Now() - down_since_[endpoint];
+}
+
+void FaultInjector::FinishRecovery(int endpoint) {
+  if (stopped_ || !recovering_[endpoint]) return;
+  recovering_[endpoint] = false;
+  up_[endpoint] = true;
+  downtime_[endpoint] += sim_->Now() - down_since_[endpoint];
+  if (InMtbfRotation(endpoint)) ScheduleMtbfTransition(endpoint);
 }
 
 double FaultInjector::Downtime(int endpoint) const {
@@ -87,6 +161,13 @@ int FaultInjector::OnDelivery(db::SiteId src, db::SiteId dst) {
   if (!up_[src] || !up_[dst]) {
     ++dropped_;
     return 0;
+  }
+  for (const Partition& p : partitions_) {
+    if (p.active && p.member[src] != p.member[dst]) {
+      ++dropped_;
+      ++partition_drops_;
+      return 0;
+    }
   }
   const EndpointFaults& f = incoming_[dst];
   if (f.loss_prob > 0 && rng_.Chance(f.loss_prob)) {
@@ -104,6 +185,8 @@ void FaultInjector::ResetStats() {
   dropped_ = 0;
   duplicated_ = 0;
   crashes_ = 0;
+  partition_drops_ = 0;
+  partitions_activated_ = 0;
 }
 
 }  // namespace lazyrep::fault

@@ -1,0 +1,119 @@
+#include "fault/fault_params.h"
+
+#include <algorithm>
+#include <cstdarg>
+#include <cstdio>
+
+namespace lazyrep::fault {
+namespace {
+
+bool Fail(std::string* error, const char* fmt, ...) {
+  char buf[256];
+  va_list args;
+  va_start(args, fmt);
+  std::vsnprintf(buf, sizeof(buf), fmt, args);
+  va_end(args);
+  if (error != nullptr) *error = buf;
+  return false;
+}
+
+bool IsProb(double p) { return p >= 0 && p <= 1; }
+
+}  // namespace
+
+bool FaultParams::Validate(std::string* error) const {
+  if (!IsProb(loss_prob)) {
+    return Fail(error, "loss_prob %g outside [0,1]", loss_prob);
+  }
+  if (!IsProb(dup_prob)) {
+    return Fail(error, "dup_prob %g outside [0,1]", dup_prob);
+  }
+  for (const LinkFault& lf : link_faults) {
+    if (lf.endpoint < 0) {
+      return Fail(error, "link_fault endpoint %d negative", lf.endpoint);
+    }
+    if (!IsProb(lf.loss_prob) || !IsProb(lf.dup_prob)) {
+      return Fail(error, "link_fault on endpoint %d has probability outside [0,1]",
+                  lf.endpoint);
+    }
+  }
+  if (site_mtbf < 0) {
+    return Fail(error, "site_mtbf %g negative", site_mtbf);
+  }
+  if (site_mtbf > 0 && site_mttr <= 0) {
+    return Fail(error,
+                "site_mtbf %g needs site_mttr > 0 (got %g): the crash "
+                "rotation draws recovery times from Exp(site_mttr)",
+                site_mtbf, site_mttr);
+  }
+  // Scripted crash windows on one endpoint must not overlap: the injector
+  // would interleave crash/recover callbacks in an undefined order.
+  std::vector<ScheduledCrash> sorted = crashes;
+  std::stable_sort(sorted.begin(), sorted.end(),
+                   [](const ScheduledCrash& a, const ScheduledCrash& b) {
+                     if (a.endpoint != b.endpoint) return a.endpoint < b.endpoint;
+                     return a.at < b.at;
+                   });
+  for (size_t i = 0; i < sorted.size(); ++i) {
+    const ScheduledCrash& c = sorted[i];
+    if (c.endpoint < 0) {
+      return Fail(error, "scripted crash endpoint %d negative", c.endpoint);
+    }
+    if (c.at < 0 || c.duration <= 0) {
+      return Fail(error,
+                  "scripted crash on endpoint %d has at=%g duration=%g "
+                  "(want at >= 0, duration > 0)",
+                  c.endpoint, c.at, c.duration);
+    }
+    if (i > 0 && sorted[i - 1].endpoint == c.endpoint &&
+        sorted[i - 1].at + sorted[i - 1].duration > c.at) {
+      return Fail(error,
+                  "scripted crash windows overlap on endpoint %d: "
+                  "[%g, %g) and [%g, %g)",
+                  c.endpoint, sorted[i - 1].at,
+                  sorted[i - 1].at + sorted[i - 1].duration, c.at,
+                  c.at + c.duration);
+    }
+  }
+  for (const ScheduledPartition& part : partitions) {
+    if (part.group.empty()) {
+      return Fail(error, "scheduled partition at t=%g has an empty group",
+                  part.at);
+    }
+    if (part.at < 0 || part.duration <= 0) {
+      return Fail(error,
+                  "scheduled partition has at=%g duration=%g "
+                  "(want at >= 0, duration > 0)",
+                  part.at, part.duration);
+    }
+    for (int e : part.group) {
+      if (e < 0) return Fail(error, "partition group endpoint %d negative", e);
+    }
+  }
+  if (max_retries < 0) {
+    return Fail(error, "max_retries %d negative", max_retries);
+  }
+  if (rto_initial <= 0 || rto_backoff < 1.0 || rto_max < rto_initial) {
+    return Fail(error,
+                "retry policy inconsistent: rto_initial=%g rto_backoff=%g "
+                "rto_max=%g (want rto_initial > 0, backoff >= 1, "
+                "rto_max >= rto_initial)",
+                rto_initial, rto_backoff, rto_max);
+  }
+  if (amnesia) {
+    if (checkpoint_interval <= 0) {
+      return Fail(error, "amnesia needs checkpoint_interval > 0 (got %g)",
+                  checkpoint_interval);
+    }
+    if (wal_record_bytes == 0) {
+      return Fail(error, "amnesia needs wal_record_bytes > 0");
+    }
+    if (replay_instr_per_record < 0) {
+      return Fail(error, "replay_instr_per_record %g negative",
+                  replay_instr_per_record);
+    }
+  }
+  return true;
+}
+
+}  // namespace lazyrep::fault

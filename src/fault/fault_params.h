@@ -1,7 +1,9 @@
 #ifndef LAZYREP_FAULT_FAULT_PARAMS_H_
 #define LAZYREP_FAULT_FAULT_PARAMS_H_
 
+#include <cstddef>
 #include <cstdint>
+#include <string>
 #include <vector>
 
 namespace lazyrep::fault {
@@ -11,6 +13,16 @@ namespace lazyrep::fault {
 /// sites are 0..num_sites-1 and the graph site is endpoint num_sites.
 struct ScheduledCrash {
   int endpoint = 0;
+  double at = 0;
+  double duration = 0;
+};
+
+/// A deterministic network partition: during [at, at + duration) the
+/// endpoints in `group` can talk among themselves but every delivery leg
+/// crossing the group boundary is dropped at the switch. Endpoints stay up —
+/// no state is lost — so healing needs no recovery, only retransmission.
+struct ScheduledPartition {
+  std::vector<int> group;
   double at = 0;
   double duration = 0;
 };
@@ -43,12 +55,32 @@ struct FaultParams {
   /// Mean time between failures per database site, seconds (exponential).
   /// 0 disables MTBF-driven crashes.
   double site_mtbf = 0;
-  /// Mean outage duration, seconds (exponential). Used with site_mtbf.
+  /// Mean outage duration, seconds (exponential). Used with site_mtbf; must
+  /// be > 0 whenever site_mtbf > 0 (enforced by Validate()).
   double site_mttr = 1.0;
   /// Include the dedicated graph site in the MTBF crash rotation.
   bool crash_graph_site = false;
-  /// Deterministic scripted outages (tests, targeted experiments).
+  /// Deterministic scripted outages (tests, targeted experiments). Windows
+  /// on the same endpoint must not overlap (enforced by Validate()).
   std::vector<ScheduledCrash> crashes;
+  /// Deterministic scripted group partitions.
+  std::vector<ScheduledPartition> partitions;
+
+  // -- crash semantics --------------------------------------------------------
+  /// When true, a crash wipes the site's volatile state (in-flight local
+  /// transactions abort, the lock manager resets, unacked reliable-channel
+  /// buffers drop) and recovery runs a costed redo replay from the site's
+  /// write-ahead log before the site serves traffic again. When false, the
+  /// legacy fail-silent model applies: the endpoint only drops messages
+  /// while down and resumes with state intact — kept for comparison runs and
+  /// to preserve existing study references byte-for-byte.
+  bool amnesia = false;
+  /// Interval between fuzzy checkpoints per site, seconds (amnesia mode).
+  double checkpoint_interval = 2.0;
+  /// Fixed header bytes per WAL record; item-write records add item_bytes.
+  size_t wal_record_bytes = 64;
+  /// CPU instructions charged per replayed WAL record during recovery.
+  double replay_instr_per_record = 2000;
 
   // -- reliable-messaging retry policy ---------------------------------------
   /// Retransmissions allowed for pre-commit control traffic before the
@@ -66,8 +98,16 @@ struct FaultParams {
   /// the original (ack-free) message paths.
   bool enabled() const {
     return loss_prob > 0 || dup_prob > 0 || !link_faults.empty() ||
-           site_mtbf > 0 || !crashes.empty();
+           site_mtbf > 0 || !crashes.empty() || !partitions.empty();
   }
+
+  /// Checks the parameter set for contradictions: probabilities outside
+  /// [0,1], site_mtbf > 0 with site_mttr <= 0 (the rotation would divide its
+  /// recovery draw by zero), overlapping scripted crash windows on one
+  /// endpoint (undefined crash/recover interleaving), malformed partitions
+  /// and retry policy. Returns true when consistent; otherwise fills `error`
+  /// with a human-readable description of the first problem found.
+  bool Validate(std::string* error) const;
 };
 
 }  // namespace lazyrep::fault

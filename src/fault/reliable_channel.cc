@@ -11,14 +11,38 @@ ReliableChannel::ReliableChannel(sim::Simulation* sim, net::StarNetwork* net,
       ack_bytes_(ack_bytes),
       rto_initial_(params.rto_initial),
       rto_backoff_(params.rto_backoff),
-      rto_max_(params.rto_max) {}
+      rto_max_(params.rto_max),
+      incarnation_(net->num_sites(), 0) {}
 
 sim::Task<void> ReliableChannel::Charge(db::SiteId endpoint) {
   if (charge_) co_await charge_(endpoint);
 }
 
+uint64_t ReliableChannel::FlowKey(db::SiteId from, db::SiteId to) const {
+  return static_cast<uint64_t>(from) * incarnation_.size() +
+         static_cast<uint64_t>(to);
+}
+
+bool ReliableChannel::RecordDelivery(uint64_t key, uint64_t seq,
+                                     uint32_t sent_inc) {
+  RecvFlow& rf = recv_[key];
+  if (!rf.init || rf.sender_inc != sent_inc) {
+    // First contact, or the sender rebooted: its counters restarted, so the
+    // old delivered-seq set no longer applies to this incarnation.
+    rf.init = true;
+    rf.sender_inc = sent_inc;
+    rf.seen.clear();
+  }
+  bool fresh = rf.seen.insert(seq).second;
+  if (!fresh) ++dup_deliveries_;
+  return fresh;
+}
+
 sim::Task<bool> ReliableChannel::Send(db::SiteId from, db::SiteId to,
                                       size_t bytes, int max_retries) {
+  uint64_t key = FlowKey(from, to);
+  uint64_t seq = next_seq_[key]++;
+  uint32_t sent_inc = incarnation_[from];
   double rto = rto_initial_;
   for (int attempt = 0;; ++attempt) {
     sim::SimTime attempt_start = sim_->Now();
@@ -28,6 +52,7 @@ sim::Task<bool> ReliableChannel::Send(db::SiteId from, db::SiteId to,
     }
     bool arrived = co_await net_->Transfer(from, to, bytes);
     if (arrived) {
+      RecordDelivery(key, seq, sent_inc);
       bool acked = co_await net_->Transfer(to, from, ack_bytes_);
       if (acked) {
         ++delivered_;
@@ -48,10 +73,29 @@ sim::Task<bool> ReliableChannel::Send(db::SiteId from, db::SiteId to,
   }
 }
 
+void ReliableChannel::OnEndpointCrash(db::SiteId endpoint) {
+  size_t n = incarnation_.size();
+  // Receiver dedup state at the crashed endpoint is volatile.
+  std::erase_if(recv_, [endpoint, n](const auto& kv) {
+    return kv.first % n == static_cast<uint64_t>(endpoint);
+  });
+  // So are its sender counters; the incarnation bump keeps their restart
+  // from colliding with pre-crash sequence numbers at the receivers.
+  std::erase_if(next_seq_, [endpoint, n](const auto& kv) {
+    return kv.first / n == static_cast<uint64_t>(endpoint);
+  });
+  ++incarnation_[endpoint];
+}
+
+uint32_t ReliableChannel::incarnation(db::SiteId endpoint) const {
+  return incarnation_[static_cast<size_t>(endpoint)];
+}
+
 void ReliableChannel::ResetStats() {
   retransmissions_ = 0;
   send_failures_ = 0;
   delivered_ = 0;
+  dup_deliveries_ = 0;
 }
 
 }  // namespace lazyrep::fault

@@ -64,6 +64,13 @@ class DiskSubsystem {
     co_await array_.Use(AccessTime(bytes));
   }
 
+  /// Sequentially reads `bytes` of log during crash recovery; always a
+  /// physical access (the buffer pool did not survive the crash).
+  sim::Task<void> ReadLog(size_t bytes) {
+    ++physical_reads_;
+    co_await array_.Use(AccessTime(bytes));
+  }
+
   /// Seconds for one physical access of `bytes`.
   double AccessTime(size_t bytes) const {
     return params_.latency +

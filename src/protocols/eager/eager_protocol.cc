@@ -136,12 +136,45 @@ sim::Process EagerProtocol::Participant(txn::Transaction* t, db::SiteId dst,
   co_await site.cpu.Execute(cfg.message_instr);  // receive the PREPARE payload
   int idx = pc->IndexOf(dst);
   LAZYREP_CHECK(idx >= 0);
+  const bool amnesia = sys_->amnesia();
+  uint32_t epoch = amnesia ? sys_->SiteEpoch(dst) : 0;
+  if (amnesia) {
+    // The replica X locks granted during execution are volatile: a crash at
+    // this site since the grant wiped them, and a rival may hold them now.
+    // Voting YES without the locks would certify a serialization order this
+    // site no longer enforces — vote NO by silence instead (never Arrive);
+    // the coordinator's vote timeout presumes abort. Crashes after this
+    // check are caught by the epoch comparison below.
+    for (db::ItemId item : t->write_set) {
+      if (cfg.HasReplica(item, dst) &&
+          !site.locks.Holds(t->id, item, LockMode::kExclusive)) {
+        site.locks.ReleaseAll(t->id);
+        co_return;
+      }
+    }
+  }
   // Process the write set into the prepare log record and force it: the YES
   // vote must survive a crash.
+  size_t prepare_pages = 0;
   for (db::ItemId item : t->write_set) {
-    if (cfg.HasReplica(item, dst)) co_await site.cpu.Execute(cfg.op_instr);
+    if (cfg.HasReplica(item, dst)) {
+      co_await site.cpu.Execute(cfg.op_instr);
+      ++prepare_pages;
+    }
   }
-  co_await site.disk.ForceLog(cfg.log_bytes);
+  if (amnesia) {
+    fault::SiteWal* w = sys_->wal(dst);
+    w->Append(fault::WalRecordType::kPrepare,
+              prepare_pages * cfg.item_bytes);
+    if (!co_await w->Force() || sys_->SiteEpoch(dst) != epoch) {
+      // Crashed before the prepare record was durable: never voted, not in
+      // doubt. The coordinator's vote timeout presumes abort.
+      co_return;
+    }
+    w->MarkPrepared(t->id);  // in doubt: X locks now survive a crash
+  } else {
+    co_await site.disk.ForceLog(cfg.log_bytes);
+  }
 
   // Vote YES. From here the participant is in doubt: it no longer has the
   // right to abort unilaterally and blocks holding its X locks.
@@ -154,10 +187,32 @@ sim::Process EagerProtocol::Participant(txn::Transaction* t, db::SiteId dst,
   }
   co_await pc->outcome[idx]->Wait();
   sys_->metrics().OnEagerInDoubt(t->measured, sys_->sim().Now() - vote_at);
+  // A crash during the doubt window lost everything volatile *except* this
+  // transaction: the prepare record re-established it during replay, and
+  // the outcome now in hand is exactly the log-inspection resolution.
+  const bool crashed_in_doubt = amnesia && sys_->SiteEpoch(dst) != epoch;
+  if (crashed_in_doubt) sys_->NoteInDoubtResolved(pc->commit);
 
   if (pc->commit) {
     System::ConflictEdges edges = co_await sys_->ApplyWrites(dst, *t);
-    co_await site.disk.ForceLog(cfg.log_bytes);
+    if (amnesia) {
+      fault::SiteWal* w = sys_->wal(dst);
+      // The outcome must reach the log before the locks fall; a crash
+      // mid-force re-enters the doubt window (the outcome is already known,
+      // so just force again after the wipe).
+      for (;;) {
+        for (db::ItemId item : t->write_set) {
+          if (cfg.HasReplica(item, dst)) {
+            w->Append(fault::WalRecordType::kItemWrite, cfg.item_bytes);
+          }
+        }
+        w->Append(fault::WalRecordType::kOutcome, 0);
+        if (co_await w->Force()) break;
+      }
+      w->MarkDecided(t->id);
+    } else {
+      co_await site.disk.ForceLog(cfg.log_bytes);
+    }
     site.locks.ReleaseAll(t->id);
     // COMMIT-ACK, carrying this site's conflict predecessors; the tracker
     // learns the subtransaction commit when the ack lands at the origin.
@@ -165,7 +220,9 @@ sim::Process EagerProtocol::Participant(txn::Transaction* t, db::SiteId dst,
     sys_->DeliverEdges(edges);
     sys_->tracker().OnSubtxnCommitted(t->id);
   } else {
-    // Presumed abort: release and forget, no ack.
+    // Presumed abort: release and forget, no ack. The abort outcome is not
+    // forced (presumed abort never needs it on disk).
+    if (amnesia) sys_->wal(dst)->MarkDecided(t->id);
     site.locks.ReleaseAll(t->id);
   }
 }
@@ -287,6 +344,14 @@ sim::Process EagerProtocol::Execute(txn::Transaction* t) {
     }
   }
 
+  // Amnesia fencing: a crash at the origin wiped this transaction's locks
+  // and buffered state — it must not commit (or coordinate a 2PC) on what
+  // did not survive.
+  if (sys_->LostToCrash(*t)) {
+    AbortNow(t, st, txn::AbortCause::kSiteFailure);
+    co_return;
+  }
+
   if (!t->is_update) {
     // Entirely local: commit, release (strict 2PL holds to commit, not to
     // completion — the tracker's wr edges order completions instead).
@@ -301,8 +366,16 @@ sim::Process EagerProtocol::Execute(txn::Transaction* t) {
   if (targets.empty()) {
     // Degenerate partial-replication case: no replicas, one-site commit.
     sys_->StampCommitTimestamp(t);
-    co_await sys_->ApplyWrites(t->origin, *t, /*at_origin=*/true);
-    co_await origin.disk.ForceLog(cfg.log_bytes);
+    if (sys_->amnesia()) {
+      if (!co_await sys_->ForceCommitRecord(t)) {
+        AbortNow(t, st, txn::AbortCause::kSiteFailure);
+        co_return;
+      }
+      co_await sys_->ApplyWrites(t->origin, *t, /*at_origin=*/true);
+    } else {
+      co_await sys_->ApplyWrites(t->origin, *t, /*at_origin=*/true);
+      co_await origin.disk.ForceLog(cfg.log_bytes);
+    }
     sys_->NoteCommitted(t);
     origin.locks.ReleaseAll(t->id);
     sys_->DeliverEdges(st->edges);
@@ -331,13 +404,50 @@ sim::Process EagerProtocol::Execute(txn::Transaction* t) {
   }
   WaitStatus vs = co_await pc->votes.Wait(cfg.EagerVoteTimeout());
 
+  // Coordinator crash during the vote collection: the transaction's state
+  // (and any unforced commit record) is gone, so the decision falls to
+  // presumed abort — exactly what a recovering coordinator's log inspection
+  // would conclude, since no commit record survives.
+  if (sys_->LostToCrash(*t)) {
+    pc->decided = true;
+    pc->commit = false;
+    sys_->sim().Spawn(BroadcastOutcome(t->origin, pc));
+    std::erase_if(st->granted_remote,
+                  [&](const std::pair<db::SiteId, db::ItemId>& p) {
+                    int idx = pc->IndexOf(p.first);
+                    return idx >= 0 && pc->prepared[idx];
+                  });
+    AbortNow(t, st, txn::AbortCause::kSiteFailure);
+    co_return;
+  }
+
   if (vs == WaitStatus::kSignaled) {
     // Unanimous YES: commit. All writers of these items serialized behind
     // this transaction's X locks, so TWR timestamps are monotone here — no
     // stale-write certification is needed.
     sys_->StampCommitTimestamp(t);
-    co_await sys_->ApplyWrites(t->origin, *t, /*at_origin=*/true);
-    co_await origin.disk.ForceLog(cfg.log_bytes);  // commit decision record
+    if (sys_->amnesia()) {
+      // Commit decision record (redo images + commit + outcome) must be
+      // durable before the store mutates; losing the force to a crash means
+      // no commit record survives — presumed abort, like the crash above.
+      sys_->wal(t->origin)->Append(fault::WalRecordType::kOutcome, 0);
+      if (!co_await sys_->ForceCommitRecord(t)) {
+        pc->decided = true;
+        pc->commit = false;
+        sys_->sim().Spawn(BroadcastOutcome(t->origin, pc));
+        std::erase_if(st->granted_remote,
+                      [&](const std::pair<db::SiteId, db::ItemId>& p) {
+                        int idx = pc->IndexOf(p.first);
+                        return idx >= 0 && pc->prepared[idx];
+                      });
+        AbortNow(t, st, txn::AbortCause::kSiteFailure);
+        co_return;
+      }
+      co_await sys_->ApplyWrites(t->origin, *t, /*at_origin=*/true);
+    } else {
+      co_await sys_->ApplyWrites(t->origin, *t, /*at_origin=*/true);
+      co_await origin.disk.ForceLog(cfg.log_bytes);  // commit decision record
+    }
     sys_->NoteCommitted(t);
     origin.locks.ReleaseAll(t->id);
     sys_->DeliverEdges(st->edges);

@@ -104,35 +104,79 @@ sim::Process LockingProtocol::Installer(txn::Transaction* t, db::SiteId dst,
   core::Site& site = sys_->site(dst);
   co_await site.cpu.Execute(cfg.message_instr);  // receive the propagation
 
-  // Local update locks for the installed items; a local deadlock aborts and
-  // restarts the subtransaction (§2.1).
-  std::vector<db::ItemId> held;
-  size_t next = 0;
-  while (next < t->write_set.size()) {
-    db::ItemId item = t->write_set[next];
-    if (!cfg.HasReplica(item, dst)) {
-      ++next;
+  const bool amnesia = sys_->amnesia();
+  uint32_t epoch = amnesia ? sys_->SiteEpoch(dst) : 0;
+  System::ConflictEdges edges;
+  for (;;) {
+    if (amnesia && sys_->SiteEpoch(dst) != epoch) {
+      // dst crashed since the payload arrived: the staged subtransaction is
+      // gone. Log-shipping catch-up — wait for the replay to finish, let
+      // the recovered site request the missed propagation, re-ship it, and
+      // install from scratch (ApplyWrites is TWR-idempotent).
+      co_await sys_->AwaitServing(dst);
+      co_await sys_->SendCtrlAssured(dst, t->origin);  // catch-up request
+      size_t bytes = cfg.propagation_overhead_bytes +
+                     t->write_set.size() * cfg.item_bytes;
+      co_await sys_->SendPayloadAssured(t->origin, dst, bytes);
+      co_await site.cpu.Execute(cfg.message_instr);  // receive again
+      epoch = sys_->SiteEpoch(dst);
+      sys_->NoteCatchupInstall();
       continue;
     }
-    WaitStatus s = co_await site.locks.Acquire(t->id, item, LockMode::kUpdate,
-                                               cfg.timeout);
-    if (s == WaitStatus::kSignaled) {
-      held.push_back(item);
-      ++next;
-      continue;
-    }
-    // Timeout: restart the subtransaction from scratch.
-    for (db::ItemId h : held) site.locks.Release(t->id, h);
-    held.clear();
-    next = 0;
-  }
 
-  for (size_t i = 0; i < held.size(); ++i) {
-    co_await site.cpu.Execute(cfg.op_instr);
+    // Local update locks for the installed items; a local deadlock aborts
+    // and restarts the subtransaction (§2.1).
+    std::vector<db::ItemId> held;
+    size_t next = 0;
+    bool locked = true;
+    while (next < t->write_set.size()) {
+      db::ItemId item = t->write_set[next];
+      if (!cfg.HasReplica(item, dst)) {
+        ++next;
+        continue;
+      }
+      WaitStatus s = co_await site.locks.Acquire(t->id, item,
+                                                 LockMode::kUpdate,
+                                                 cfg.timeout);
+      if (s == WaitStatus::kSignaled) {
+        held.push_back(item);
+        ++next;
+        continue;
+      }
+      // Timeout (or cancelled by a crash wipe): restart from scratch.
+      for (db::ItemId h : held) site.locks.Release(t->id, h);
+      held.clear();
+      if (amnesia && sys_->SiteEpoch(dst) != epoch) {
+        locked = false;  // crash mid-acquisition: back to catch-up
+        break;
+      }
+      next = 0;
+    }
+    if (!locked) continue;
+
+    for (size_t i = 0; i < held.size(); ++i) {
+      co_await site.cpu.Execute(cfg.op_instr);
+    }
+    edges = co_await sys_->ApplyWrites(dst, *t);
+    if (amnesia) {
+      fault::SiteWal* w = sys_->wal(dst);
+      for (db::ItemId item : t->write_set) {
+        if (cfg.HasReplica(item, dst)) {
+          w->Append(fault::WalRecordType::kItemWrite, cfg.item_bytes);
+        }
+      }
+      w->Append(fault::WalRecordType::kReceipt, 0);
+      bool durable = co_await w->Force();
+      for (db::ItemId h : held) site.locks.Release(t->id, h);
+      // A crash mid-force lost the receipt: the install must re-run after
+      // recovery so the redo records make it into the log.
+      if (!durable || sys_->SiteEpoch(dst) != epoch) continue;
+    } else {
+      co_await site.disk.ForceLog(cfg.log_bytes);
+      for (db::ItemId h : held) site.locks.Release(t->id, h);
+    }
+    break;
   }
-  System::ConflictEdges edges = co_await sys_->ApplyWrites(dst, *t);
-  co_await site.disk.ForceLog(cfg.log_bytes);
-  for (db::ItemId h : held) site.locks.Release(t->id, h);
 
   // Ack to the origin, carrying this site's conflict predecessors. The
   // origin blocks on the ack countdown, so the ack must get through.
@@ -224,6 +268,13 @@ sim::Process LockingProtocol::Execute(txn::Transaction* t) {
     co_return;
   }
 
+  // Amnesia fencing: a crash at the origin wiped this transaction's locks
+  // and buffered state — it must not commit on what did not survive.
+  if (sys_->LostToCrash(*t)) {
+    AbortNow(t, st, txn::AbortCause::kSiteFailure);
+    co_return;
+  }
+
   sys_->StampCommitTimestamp(t);
   // Commit at the origination site. A write masked by a *terminal* newer
   // writer cannot serialize anywhere (its timestamp is too old): abort.
@@ -232,13 +283,21 @@ sim::Process LockingProtocol::Execute(txn::Transaction* t) {
       AbortNow(t, st, txn::AbortCause::kStaleWrite);
       co_return;
     }
-    // Apply under the held update locks; conflict edges deliver instantly
-    // (all parties are co-located with the origination site).
-    co_await sys_->ApplyWrites(t->origin, *t, /*at_origin=*/true);
+    if (sys_->amnesia()) {
+      // WAL discipline: the redo + commit records must be durable *before*
+      // the store mutates — a crash mid-force aborts with nothing applied.
+      if (!co_await sys_->ForceCommitRecord(t)) {
+        AbortNow(t, st, txn::AbortCause::kSiteFailure);
+        co_return;
+      }
+      co_await sys_->ApplyWrites(t->origin, *t, /*at_origin=*/true);
+    } else {
+      // Apply under the held update locks; conflict edges deliver instantly
+      // (all parties are co-located with the origination site).
+      co_await sys_->ApplyWrites(t->origin, *t, /*at_origin=*/true);
+      co_await origin.disk.ForceLog(cfg.log_bytes);  // read-only commits
+    }                                                // write no redo records
   }
-  if (t->is_update) {
-    co_await origin.disk.ForceLog(cfg.log_bytes);  // read-only commits write
-  }                                                // no redo records
   sys_->NoteCommitted(t);
   sys_->DeliverEdges(st->edges);
 

@@ -25,32 +25,72 @@ sim::Process OptimisticProtocol::Installer(txn::Transaction* t,
   core::Site& site = sys_->site(dst);
   co_await site.cpu.Execute(cfg.message_instr);
 
-  std::vector<db::ItemId> held;
-  size_t next = 0;
-  while (next < t->write_set.size()) {
-    db::ItemId item = t->write_set[next];
-    if (!cfg.HasReplica(item, dst)) {
-      ++next;
+  const bool amnesia = sys_->amnesia();
+  uint32_t epoch = amnesia ? sys_->SiteEpoch(dst) : 0;
+  System::ConflictEdges edges;
+  for (;;) {
+    if (amnesia && sys_->SiteEpoch(dst) != epoch) {
+      // dst crashed since the payload arrived (see LockingProtocol's
+      // installer): wait out the replay, re-ship, re-install.
+      co_await sys_->AwaitServing(dst);
+      co_await sys_->SendCtrlAssured(dst, t->origin);  // catch-up request
+      size_t bytes = cfg.propagation_overhead_bytes +
+                     t->write_set.size() * cfg.item_bytes;
+      co_await sys_->SendPayloadAssured(t->origin, dst, bytes);
+      co_await site.cpu.Execute(cfg.message_instr);  // receive again
+      epoch = sys_->SiteEpoch(dst);
+      sys_->NoteCatchupInstall();
       continue;
     }
-    WaitStatus s = co_await site.locks.Acquire(t->id, item, LockMode::kUpdate,
-                                               cfg.timeout);
-    if (s == WaitStatus::kSignaled) {
-      held.push_back(item);
-      ++next;
-      continue;
-    }
-    for (db::ItemId h : held) site.locks.Release(t->id, h);
-    held.clear();
-    next = 0;  // local deadlock: restart the subtransaction
-  }
 
-  for (size_t i = 0; i < held.size(); ++i) {
-    co_await site.cpu.Execute(cfg.op_instr);
+    std::vector<db::ItemId> held;
+    size_t next = 0;
+    bool locked = true;
+    while (next < t->write_set.size()) {
+      db::ItemId item = t->write_set[next];
+      if (!cfg.HasReplica(item, dst)) {
+        ++next;
+        continue;
+      }
+      WaitStatus s = co_await site.locks.Acquire(t->id, item,
+                                                 LockMode::kUpdate,
+                                                 cfg.timeout);
+      if (s == WaitStatus::kSignaled) {
+        held.push_back(item);
+        ++next;
+        continue;
+      }
+      for (db::ItemId h : held) site.locks.Release(t->id, h);
+      held.clear();
+      if (amnesia && sys_->SiteEpoch(dst) != epoch) {
+        locked = false;  // crash mid-acquisition: back to catch-up
+        break;
+      }
+      next = 0;  // local deadlock: restart the subtransaction
+    }
+    if (!locked) continue;
+
+    for (size_t i = 0; i < held.size(); ++i) {
+      co_await site.cpu.Execute(cfg.op_instr);
+    }
+    edges = co_await sys_->ApplyWrites(dst, *t);
+    if (amnesia) {
+      fault::SiteWal* w = sys_->wal(dst);
+      for (db::ItemId item : t->write_set) {
+        if (cfg.HasReplica(item, dst)) {
+          w->Append(fault::WalRecordType::kItemWrite, cfg.item_bytes);
+        }
+      }
+      w->Append(fault::WalRecordType::kReceipt, 0);
+      bool durable = co_await w->Force();
+      for (db::ItemId h : held) site.locks.Release(t->id, h);
+      if (!durable || sys_->SiteEpoch(dst) != epoch) continue;
+    } else {
+      co_await site.disk.ForceLog(cfg.log_bytes);
+      for (db::ItemId h : held) site.locks.Release(t->id, h);
+    }
+    break;
   }
-  System::ConflictEdges edges = co_await sys_->ApplyWrites(dst, *t);
-  co_await site.disk.ForceLog(cfg.log_bytes);
-  for (db::ItemId h : held) site.locks.Release(t->id, h);
 
   co_await sys_->SendCtrlAssured(dst, sys_->graph_endpoint());
   co_await sys_->graph_site()->ChargeMessages(1);
@@ -149,6 +189,23 @@ sim::Process OptimisticProtocol::Execute(txn::Transaction* t) {
     co_return;
   }
 
+  // Amnesia fencing: a crash at the origin wiped this transaction's locks
+  // and buffered state. The graph site may still carry the node (the OK
+  // verdict landed), so ask it to drop us once reachable.
+  if (sys_->LostToCrash(*t)) {
+    origin.locks.ReleaseAll(t->id);
+    sys_->NoteAborted(t, txn::AbortCause::kSiteFailure);
+    struct Remover {
+      static sim::Process Run(core::System* sys, db::SiteId from,
+                              db::TxnId id) {
+        co_await sys->SendCtrlAssured(from, sys->graph_endpoint());
+        co_await sys->graph_site()->HandleRemove(id);
+      }
+    };
+    sys_->sim().Spawn(Remover::Run(sys_, t->origin, t->id));
+    co_return;
+  }
+
   sys_->StampCommitTimestamp(t);
   // A write masked by a terminal newer writer cannot serialize: abort
   // ("timestamp too old") and tell the graph site to drop us.
@@ -184,12 +241,30 @@ sim::Process OptimisticProtocol::Execute(txn::Transaction* t) {
     co_return;
   }
   if (t->is_update) {
-    // Origin apply: conflict edges deliver instantly (co-located parties).
-    co_await sys_->ApplyWrites(t->origin, *t, /*at_origin=*/true);
+    if (sys_->amnesia()) {
+      // WAL discipline: redo + commit records durable before the store
+      // mutates; a crash mid-force aborts with nothing applied.
+      if (!co_await sys_->ForceCommitRecord(t)) {
+        origin.locks.ReleaseAll(t->id);
+        sys_->NoteAborted(t, txn::AbortCause::kSiteFailure);
+        struct Remover {
+          static sim::Process Run(core::System* sys, db::SiteId from,
+                                  db::TxnId id) {
+            co_await sys->SendCtrlAssured(from, sys->graph_endpoint());
+            co_await sys->graph_site()->HandleRemove(id);
+          }
+        };
+        sys_->sim().Spawn(Remover::Run(sys_, t->origin, t->id));
+        co_return;
+      }
+      // Origin apply: conflict edges deliver instantly (co-located parties).
+      co_await sys_->ApplyWrites(t->origin, *t, /*at_origin=*/true);
+    } else {
+      // Origin apply: conflict edges deliver instantly (co-located parties).
+      co_await sys_->ApplyWrites(t->origin, *t, /*at_origin=*/true);
+      co_await origin.disk.ForceLog(cfg.log_bytes);  // read-only commits
+    }                                                // write no redo records
   }
-  if (t->is_update) {
-    co_await origin.disk.ForceLog(cfg.log_bytes);  // read-only commits write
-  }                                                // no redo records
   // Response-time convention for read-only transactions (see DESIGN.md):
   // the paper's Fig 9 ratios (optimistic better than locking/pessimistic by
   // 7.7x/6.1x on OC-1) imply read-only response was measured up to the

@@ -68,32 +68,72 @@ sim::Process PessimisticProtocol::Installer(txn::Transaction* t,
   core::Site& site = sys_->site(dst);
   co_await site.cpu.Execute(cfg.message_instr);
 
-  std::vector<db::ItemId> held;
-  size_t next = 0;
-  while (next < t->write_set.size()) {
-    db::ItemId item = t->write_set[next];
-    if (!cfg.HasReplica(item, dst)) {
-      ++next;
+  const bool amnesia = sys_->amnesia();
+  uint32_t epoch = amnesia ? sys_->SiteEpoch(dst) : 0;
+  System::ConflictEdges edges;
+  for (;;) {
+    if (amnesia && sys_->SiteEpoch(dst) != epoch) {
+      // dst crashed since the payload arrived (see LockingProtocol's
+      // installer): wait out the replay, re-ship, re-install.
+      co_await sys_->AwaitServing(dst);
+      co_await sys_->SendCtrlAssured(dst, t->origin);  // catch-up request
+      size_t bytes = cfg.propagation_overhead_bytes +
+                     t->write_set.size() * cfg.item_bytes;
+      co_await sys_->SendPayloadAssured(t->origin, dst, bytes);
+      co_await site.cpu.Execute(cfg.message_instr);  // receive again
+      epoch = sys_->SiteEpoch(dst);
+      sys_->NoteCatchupInstall();
       continue;
     }
-    WaitStatus s = co_await site.locks.Acquire(t->id, item, LockMode::kUpdate,
-                                               cfg.timeout);
-    if (s == WaitStatus::kSignaled) {
-      held.push_back(item);
-      ++next;
-      continue;
-    }
-    for (db::ItemId h : held) site.locks.Release(t->id, h);
-    held.clear();
-    next = 0;  // local deadlock: restart the subtransaction
-  }
 
-  for (size_t i = 0; i < held.size(); ++i) {
-    co_await site.cpu.Execute(cfg.op_instr);
+    std::vector<db::ItemId> held;
+    size_t next = 0;
+    bool locked = true;
+    while (next < t->write_set.size()) {
+      db::ItemId item = t->write_set[next];
+      if (!cfg.HasReplica(item, dst)) {
+        ++next;
+        continue;
+      }
+      WaitStatus s = co_await site.locks.Acquire(t->id, item,
+                                                 LockMode::kUpdate,
+                                                 cfg.timeout);
+      if (s == WaitStatus::kSignaled) {
+        held.push_back(item);
+        ++next;
+        continue;
+      }
+      for (db::ItemId h : held) site.locks.Release(t->id, h);
+      held.clear();
+      if (amnesia && sys_->SiteEpoch(dst) != epoch) {
+        locked = false;  // crash mid-acquisition: back to catch-up
+        break;
+      }
+      next = 0;  // local deadlock: restart the subtransaction
+    }
+    if (!locked) continue;
+
+    for (size_t i = 0; i < held.size(); ++i) {
+      co_await site.cpu.Execute(cfg.op_instr);
+    }
+    edges = co_await sys_->ApplyWrites(dst, *t);
+    if (amnesia) {
+      fault::SiteWal* w = sys_->wal(dst);
+      for (db::ItemId item : t->write_set) {
+        if (cfg.HasReplica(item, dst)) {
+          w->Append(fault::WalRecordType::kItemWrite, cfg.item_bytes);
+        }
+      }
+      w->Append(fault::WalRecordType::kReceipt, 0);
+      bool durable = co_await w->Force();
+      for (db::ItemId h : held) site.locks.Release(t->id, h);
+      if (!durable || sys_->SiteEpoch(dst) != epoch) continue;
+    } else {
+      co_await site.disk.ForceLog(cfg.log_bytes);
+      for (db::ItemId h : held) site.locks.Release(t->id, h);
+    }
+    break;
   }
-  System::ConflictEdges edges = co_await sys_->ApplyWrites(dst, *t);
-  co_await site.disk.ForceLog(cfg.log_bytes);
-  for (db::ItemId h : held) site.locks.Release(t->id, h);
 
   // Ack to the graph site: carries this site's conflict predecessors and the
   // subtransaction commit.
@@ -175,6 +215,13 @@ sim::Process PessimisticProtocol::Execute(txn::Transaction* t) {
     co_return;
   }
 
+  // Amnesia fencing: a crash at the origin wiped this transaction's locks
+  // and buffered state — abort and let the graph site GC its node.
+  if (sys_->LostToCrash(*t)) {
+    AbortLocal(t, st, /*notify_graph=*/true, txn::AbortCause::kSiteFailure);
+    co_return;
+  }
+
   sys_->StampCommitTimestamp(t);
   // Commit at the origination site. A write masked by a terminal newer
   // writer cannot serialize anywhere: abort ("timestamp too old").
@@ -183,13 +230,22 @@ sim::Process PessimisticProtocol::Execute(txn::Transaction* t) {
       AbortLocal(t, st, /*notify_graph=*/true, txn::AbortCause::kStaleWrite);
       co_return;
     }
-    // Conflict edges from the origin apply deliver instantly: every party
-    // (co-owners by the ownership rule, local readers) executes here.
-    co_await sys_->ApplyWrites(t->origin, *t, /*at_origin=*/true);
+    if (sys_->amnesia()) {
+      // WAL discipline: redo + commit records durable before the store
+      // mutates; a crash mid-force aborts with nothing applied.
+      if (!co_await sys_->ForceCommitRecord(t)) {
+        AbortLocal(t, st, /*notify_graph=*/true,
+                   txn::AbortCause::kSiteFailure);
+        co_return;
+      }
+      co_await sys_->ApplyWrites(t->origin, *t, /*at_origin=*/true);
+    } else {
+      // Conflict edges from the origin apply deliver instantly: every party
+      // (co-owners by the ownership rule, local readers) executes here.
+      co_await sys_->ApplyWrites(t->origin, *t, /*at_origin=*/true);
+      co_await origin.disk.ForceLog(cfg.log_bytes);  // read-only commits
+    }                                                // write no redo records
   }
-  if (t->is_update) {
-    co_await origin.disk.ForceLog(cfg.log_bytes);  // read-only commits write
-  }                                                // no redo records
   sys_->NoteCommitted(t);
 
   // Strict 2PL at the local DBMS: locks fall at local commit (the

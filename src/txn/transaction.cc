@@ -32,6 +32,8 @@ const char* AbortCauseName(AbortCause cause) {
       return "torn_read";
     case AbortCause::kUnavailable:
       return "unavailable";
+    case AbortCause::kSiteFailure:
+      return "site_failure";
     case AbortCause::kCount:
       break;
   }

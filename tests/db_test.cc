@@ -264,6 +264,39 @@ TEST(LockManagerTest, TimeoutOfMiddleWaiterUnblocksOthers) {
   EXPECT_DOUBLE_EQ(t3, 0.5);
 }
 
+TEST(LockManagerTest, CrashResetKeepsSurvivorsAndCancelsWaiters) {
+  Simulation sim;
+  LockManager lm(&sim);
+  WaitStatus s1, s2, s3;
+  double t1, t2, t3;
+  // Txn 1 holds item 5 exclusively (via update, sole holder semantics rely
+  // on the queue); txn 2 waits behind it; txn 3 holds item 6.
+  sim.Spawn(AcquireLock(&sim, &lm, 1, 5, LockMode::kShared, 99.0, &s1, &t1));
+  sim.Spawn(AcquireLock(&sim, &lm, 2, 5, LockMode::kUpdate, 99.0, &s2, &t2));
+  sim.Spawn(AcquireLock(&sim, &lm, 3, 6, LockMode::kUpdate, 99.0, &s3, &t3));
+  sim.Run(1.0);  // bounded: txn 2 must still be queued, not timed out
+  ASSERT_EQ(s1, WaitStatus::kSignaled);
+  ASSERT_EQ(s3, WaitStatus::kSignaled);
+
+  // The crash keeps txn 3 (in-doubt survivor) and wipes everything else.
+  lm.CrashReset([](TxnId id) { return id == 3; });
+  sim.Run(2.0);
+
+  EXPECT_EQ(s2, WaitStatus::kCancelled);  // waiter woken, not granted
+  EXPECT_EQ(lm.HeldItems(1).size(), 0u);
+  EXPECT_EQ(lm.HolderCount(5), 0u);
+  EXPECT_TRUE(lm.Holds(3, 6, LockMode::kUpdate));
+  ASSERT_EQ(lm.HeldItems(3).size(), 1u);
+  EXPECT_EQ(lm.HeldItems(3)[0], 6u);
+
+  // The wiped item is immediately grantable to a new transaction.
+  WaitStatus s4;
+  double t4;
+  sim.Spawn(AcquireLock(&sim, &lm, 4, 5, LockMode::kUpdate, 1.0, &s4, &t4));
+  sim.Run(3.0);
+  EXPECT_EQ(s4, WaitStatus::kSignaled);
+}
+
 // ---------------------------------------------------------------------------
 // ItemStore / Thomas Write Rule
 // ---------------------------------------------------------------------------

@@ -100,6 +100,51 @@ TEST_P(ProtocolFaults, SiteCrashRotationResolvesEverything) {
   EXPECT_GE(m.mean_site_availability, m.min_site_availability);
 }
 
+TEST_P(ProtocolFaults, AmnesiaCrashRotationRecoversDurably) {
+  // State-losing crashes: sites wipe volatile state on crash and replay
+  // their WAL on recovery. Every invariant the chaos harness checks must
+  // hold: fleet-wide serializability, post-drain replica convergence, and
+  // liveness (no transaction stranded).
+  SystemConfig c = SmallConfig(4, 40, 400, 61);
+  c.fault.site_mtbf = 3.0;
+  c.fault.site_mttr = 0.5;
+  c.fault.amnesia = true;
+  c.fault.checkpoint_interval = 2.0;
+  System system(c, GetParam());
+  HistoryRecorder history;
+  system.set_history(&history);
+  MetricsSnapshot m = system.Run();
+  EXPECT_GT(m.site_crashes, 0u) << m.ToString();
+  EXPECT_GT(m.site_recoveries, 0u) << m.ToString();
+  EXPECT_GT(m.wal_forces, 0u) << m.ToString();
+  EXPECT_GT(m.completed, 0u) << m.ToString();
+  EXPECT_EQ(system.tracker().live_count(), 0u) << m.ToString();
+  EXPECT_EQ(system.LiveTxns(), 0u) << m.ToString();
+  std::string why;
+  EXPECT_TRUE(history.CheckOneCopySerializable(&why)) << why;
+  EXPECT_TRUE(system.ReplicasConverged(&why)) << why;
+}
+
+TEST_P(ProtocolFaults, PartitionHealsWithoutDivergence) {
+  // A two-site island for a second mid-run: cross-boundary traffic drops at
+  // the switch, reliable retransmission carries the backlog across the heal,
+  // and after the drain every replica agrees.
+  SystemConfig c = SmallConfig(4, 40, 400, 67);
+  c.fault.partitions.push_back(
+      {/*group=*/{0, 1}, /*at=*/2.0, /*duration=*/1.0});
+  System system(c, GetParam());
+  HistoryRecorder history;
+  system.set_history(&history);
+  MetricsSnapshot m = system.Run();
+  EXPECT_EQ(m.partitions_injected, 1u) << m.ToString();
+  EXPECT_GT(m.faults_injected_partition, 0u) << m.ToString();
+  EXPECT_GT(m.completed, 0u) << m.ToString();
+  EXPECT_EQ(system.tracker().live_count(), 0u) << m.ToString();
+  std::string why;
+  EXPECT_TRUE(history.CheckOneCopySerializable(&why)) << why;
+  EXPECT_TRUE(system.ReplicasConverged(&why)) << why;
+}
+
 INSTANTIATE_TEST_SUITE_P(AllProtocols, ProtocolFaults,
                          ::testing::Values(ProtocolKind::kLocking,
                                            ProtocolKind::kPessimistic,

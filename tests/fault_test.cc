@@ -1,7 +1,9 @@
-// Unit tests for the fault-injection subsystem: deterministic injector
-// draws, crash/recovery windows, the StarNetwork faulty-delivery hook, and
-// the reliable channel's retry/backoff behaviour.
+// Unit tests for the fault-injection subsystem: parameter validation,
+// deterministic injector draws, crash/recovery windows, scheduled
+// partitions, the StarNetwork faulty-delivery hook, and the reliable
+// channel's retry/backoff/dedup behaviour across endpoint crashes.
 
+#include <string>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -18,6 +20,55 @@ namespace {
 using db::SiteId;
 using sim::Process;
 using sim::Simulation;
+
+TEST(FaultParamsTest, DefaultsValidateAndDisableEverything) {
+  FaultParams p;
+  std::string err;
+  EXPECT_TRUE(p.Validate(&err)) << err;
+  EXPECT_FALSE(p.enabled());
+}
+
+TEST(FaultParamsTest, MtbfWithoutMttrIsRejected) {
+  FaultParams p;
+  p.site_mtbf = 5.0;
+  p.site_mttr = 0;  // the rotation would draw recovery times from Exp(0)
+  std::string err;
+  EXPECT_FALSE(p.Validate(&err));
+  EXPECT_NE(err.find("site_mttr"), std::string::npos) << err;
+}
+
+TEST(FaultParamsTest, OverlappingCrashWindowsOnOneEndpointAreRejected) {
+  FaultParams p;
+  p.crashes.push_back({/*endpoint=*/1, /*at=*/1.0, /*duration=*/1.0});
+  p.crashes.push_back({/*endpoint=*/1, /*at=*/1.5, /*duration=*/1.0});
+  std::string err;
+  EXPECT_FALSE(p.Validate(&err));
+  EXPECT_NE(err.find("overlap"), std::string::npos) << err;
+  // The same windows on different endpoints are fine.
+  p.crashes[1].endpoint = 2;
+  EXPECT_TRUE(p.Validate(&err)) << err;
+  // Back-to-back windows on one endpoint (touching, not overlapping) too.
+  p.crashes[1] = {/*endpoint=*/1, /*at=*/2.0, /*duration=*/0.5};
+  EXPECT_TRUE(p.Validate(&err)) << err;
+}
+
+TEST(FaultParamsTest, MalformedPartitionAndRetryPolicyAreRejected) {
+  FaultParams p;
+  p.partitions.push_back({/*group=*/{}, /*at=*/1.0, /*duration=*/1.0});
+  std::string err;
+  EXPECT_FALSE(p.Validate(&err));
+  EXPECT_NE(err.find("empty group"), std::string::npos) << err;
+  p.partitions.clear();
+
+  p.rto_max = p.rto_initial / 2;  // cap below the initial timeout
+  EXPECT_FALSE(p.Validate(&err));
+  p = FaultParams{};
+
+  p.amnesia = true;
+  p.checkpoint_interval = 0;
+  EXPECT_FALSE(p.Validate(&err));
+  EXPECT_NE(err.find("checkpoint_interval"), std::string::npos) << err;
+}
 
 TEST(FaultInjectorTest, SameSeedSameDrawSequence) {
   Simulation sim_a, sim_b;
@@ -110,6 +161,62 @@ TEST(FaultInjectorTest, MtbfRotationCrashesAndRecovers) {
   EXPECT_EQ(inj.Downtime(0), downtime);
 }
 
+TEST(FaultInjectorTest, PartitionDropsOnlyCrossGroupLegs) {
+  Simulation sim;
+  FaultParams p;
+  p.partitions.push_back({/*group=*/{0, 1}, /*at=*/1.0, /*duration=*/1.0});
+  FaultInjector inj(&sim, 4, p, 7);
+  int in_group = -1, cross_out = -1, cross_in = -1, outsiders = -1;
+  sim.ScheduleCallbackAt(0.5, [&] { EXPECT_EQ(inj.OnDelivery(0, 2), 1); });
+  sim.ScheduleCallbackAt(1.5, [&] {
+    in_group = inj.OnDelivery(0, 1);
+    cross_out = inj.OnDelivery(0, 2);
+    cross_in = inj.OnDelivery(3, 1);
+    outsiders = inj.OnDelivery(2, 3);
+  });
+  sim.ScheduleCallbackAt(2.5, [&] { EXPECT_EQ(inj.OnDelivery(0, 2), 1); });
+  inj.Start();
+  sim.Run();
+  // Members talk among themselves, outsiders among themselves; every leg
+  // crossing the boundary is dropped at the switch. Endpoints stay up.
+  EXPECT_EQ(in_group, 1);
+  EXPECT_EQ(cross_out, 0);
+  EXPECT_EQ(cross_in, 0);
+  EXPECT_EQ(outsiders, 1);
+  EXPECT_EQ(inj.partition_drops(), 2u);
+  EXPECT_EQ(inj.partitions_activated(), 1u);
+  EXPECT_EQ(inj.crashes(), 0u);
+  EXPECT_TRUE(inj.IsUp(0));
+}
+
+TEST(FaultInjectorTest, StopCancelsRotationRestartedByScriptedOutage) {
+  // Regression: a scripted outage on an endpoint that is also in the MTBF
+  // rotation restarts the rotation via FinishRecovery while the rotation's
+  // original draw is still scheduled. The superseded event must be
+  // cancelled, not orphaned — an orphan survives Stop() and fires a crash
+  // into the post-measurement drain, permanently downing the endpoint.
+  Simulation sim;
+  FaultParams p;
+  p.site_mtbf = 50.0;  // first rotation draw lands far in the future
+  p.site_mttr = 0.1;
+  p.crashes.push_back({/*endpoint=*/0, /*at=*/0.5, /*duration=*/0.2});
+  FaultInjector inj(&sim, 2, p, 3);
+  // Mimic the System's amnesia recovery flow: Recover() parks the endpoint
+  // in the recovering state and the replay completes one callback later.
+  inj.set_recovery_hook([&](int e) {
+    sim.ScheduleCallbackAt(sim.Now(), [&inj, e] { inj.FinishRecovery(e); });
+  });
+  inj.Start();
+  sim.Run(2.0);  // scripted window done; rotation restarted by the recovery
+  EXPECT_EQ(inj.crashes(), 1u);
+  EXPECT_TRUE(inj.IsUp(0));
+  inj.Stop();
+  sim.Run(500.0);  // several rotation means past Stop: nothing may fire
+  EXPECT_EQ(inj.crashes(), 1u);
+  EXPECT_TRUE(inj.IsUp(0));
+  EXPECT_FALSE(inj.Recovering(0));
+}
+
 Process DoTransfer(Simulation* sim, net::StarNetwork* net, SiteId src,
                    SiteId dst, size_t bytes, bool* arrived, double* done_at) {
   *arrived = co_await net->Transfer(src, dst, bytes);
@@ -197,6 +304,99 @@ TEST(ReliableChannelTest, CappedRetriesGiveUp) {
   EXPECT_EQ(ch.send_failures(), 1u);
   EXPECT_EQ(ch.retransmissions(), 3u);
   EXPECT_EQ(ch.delivered(), 0u);
+}
+
+TEST(ReliableChannelTest, RtoCapBoundsExponentialBackoff) {
+  Simulation sim;
+  net::StarNetwork net(&sim, 2, net::NetworkParams{0.0, 1e9});
+  int drops_left = 6;  // six payload legs lost, the seventh delivers
+  net.set_fault_hook([&](SiteId, SiteId dst) {
+    if (dst == 1 && drops_left > 0) {
+      --drops_left;
+      return 0;
+    }
+    return 1;
+  });
+  ReliableChannel ch(&sim, &net, ChannelParams(), 64);
+  bool ok = false;
+  double done = -1;
+  sim.Spawn(DoSend(&sim, &ch, 0, 1, 128, kRetryForever, &ok, &done));
+  sim.Run();
+  EXPECT_TRUE(ok);
+  EXPECT_EQ(ch.retransmissions(), 6u);
+  // Timeouts 0.05 + 0.1 + 0.2 + 0.4 + 0.8, then capped at 1.0 (not 1.6):
+  // the 7th attempt leaves at 2.55. Uncapped it would leave at 3.15.
+  EXPECT_GE(done, 2.55);
+  EXPECT_LT(done, 2.6);
+}
+
+TEST(ReliableChannelTest, SenderCrashRestartsSequencesWithoutFalseDuplicates) {
+  // An amnesia crash wipes the sender's per-flow sequence counters, so its
+  // restarted numbering begins at zero again. The bumped incarnation must
+  // keep the receiver from mistaking those fresh messages for duplicates of
+  // pre-crash traffic — a false duplicate would be acked but never handed
+  // to the protocol, silently losing the payload.
+  Simulation sim;
+  net::StarNetwork net(&sim, 2, net::NetworkParams{0.0, 1e9});
+  ReliableChannel ch(&sim, &net, ChannelParams(), 64);
+  bool ok1 = false, ok2 = false;
+  double t1 = -1, t2 = -1;
+  sim.Spawn(DoSend(&sim, &ch, 0, 1, 128, kRetryForever, &ok1, &t1));
+  sim.Run();
+  ASSERT_TRUE(ok1);
+  ch.OnEndpointCrash(0);  // sender reboots: counters restart at seq 0
+  EXPECT_EQ(ch.incarnation(0), 1u);
+  sim.Spawn(DoSend(&sim, &ch, 0, 1, 128, kRetryForever, &ok2, &t2));
+  sim.Run();
+  EXPECT_TRUE(ok2);
+  EXPECT_EQ(ch.delivered(), 2u);
+  EXPECT_EQ(ch.dup_deliveries(), 0u);
+  EXPECT_EQ(ch.retransmissions(), 0u);
+}
+
+TEST(ReliableChannelTest, ReceiverCrashWipesDedupStateCoherently) {
+  // The receiver's delivered-seq sets are volatile. After its amnesia crash
+  // wipes them, ongoing flows from surviving senders must keep delivering:
+  // the rebuilt flow state may not misclassify fresh (never-seen) sequence
+  // numbers as duplicates.
+  Simulation sim;
+  net::StarNetwork net(&sim, 2, net::NetworkParams{0.0, 1e9});
+  ReliableChannel ch(&sim, &net, ChannelParams(), 64);
+  for (int round = 0; round < 3; ++round) {
+    bool ok = false;
+    double t = -1;
+    sim.Spawn(DoSend(&sim, &ch, 0, 1, 128, kRetryForever, &ok, &t));
+    sim.Run();
+    ASSERT_TRUE(ok) << "round " << round;
+    ch.OnEndpointCrash(1);  // receiver reboots between every message
+  }
+  EXPECT_EQ(ch.delivered(), 3u);
+  EXPECT_EQ(ch.dup_deliveries(), 0u);
+}
+
+TEST(ReliableChannelTest, GiveUpThenFreshSendSucceedsAfterRecovery) {
+  // A capped send into a dead receiver exhausts its budget and resolves
+  // false; once the receiver is reachable again a fresh send must go
+  // through untainted by the abandoned attempt's sequence state.
+  Simulation sim;
+  net::StarNetwork net(&sim, 2, net::NetworkParams{0.0, 1e9});
+  bool receiver_down = true;
+  net.set_fault_hook(
+      [&](SiteId, SiteId dst) { return (dst == 1 && receiver_down) ? 0 : 1; });
+  ReliableChannel ch(&sim, &net, ChannelParams(), 64);
+  bool ok1 = true, ok2 = false;
+  double t1 = -1, t2 = -1;
+  sim.Spawn(DoSend(&sim, &ch, 0, 1, 128, /*retries=*/3, &ok1, &t1));
+  sim.Run();
+  EXPECT_FALSE(ok1);
+  EXPECT_EQ(ch.send_failures(), 1u);
+  receiver_down = false;
+  ch.OnEndpointCrash(1);  // the outage was an amnesia crash: state wiped
+  sim.Spawn(DoSend(&sim, &ch, 0, 1, 128, /*retries=*/3, &ok2, &t2));
+  sim.Run();
+  EXPECT_TRUE(ok2);
+  EXPECT_EQ(ch.delivered(), 1u);
+  EXPECT_EQ(ch.send_failures(), 1u);
 }
 
 TEST(ReliableChannelTest, LostAckTriggersDedupedRetransmission) {

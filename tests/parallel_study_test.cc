@@ -171,6 +171,59 @@ TEST(ParallelStudyTest, AuditOffLeavesSnapshotsUnchecked) {
   EXPECT_EQ(points[0].snap.history_committed, 0u);
 }
 
+TEST(ParallelStudyTest, ChaosSchedulesAreByteIdenticalAtAnyJobsLevel) {
+  // The chaos harness (bench_chaos) must keep its results bit-identical at
+  // any --jobs level even though every run injects crashes, replays WALs,
+  // and heals partitions: schedule configs derive from identity alone and
+  // the audit runs after each run's own drain.
+  ChaosOptions opt;
+  opt.txns = 200;
+  std::vector<RunSpec> specs;
+  for (ProtocolKind kind :
+       {ProtocolKind::kLocking, ProtocolKind::kPessimistic,
+        ProtocolKind::kOptimistic, ProtocolKind::kEager}) {
+    for (int s = 0; s < 6; ++s) {
+      specs.push_back({MakeChaosConfig(opt, kind, s), kind});
+    }
+  }
+  auto fingerprint = [](const std::vector<MetricsSnapshot>& ms) {
+    std::string out;
+    for (const MetricsSnapshot& m : ms) {
+      char buf[512];
+      std::snprintf(buf, sizeof(buf),
+                    "%llu|%llu|%llu|%d|%d|%llu|%llu|%llu|%a|%llu|%llu|%a\n",
+                    (unsigned long long)m.committed,
+                    (unsigned long long)m.completed,
+                    (unsigned long long)m.aborted, m.serializable,
+                    m.replicas_converged, (unsigned long long)m.stranded_txns,
+                    (unsigned long long)m.site_crashes,
+                    (unsigned long long)m.site_recoveries,
+                    m.recovery_replay.Mean(),
+                    (unsigned long long)m.wal_forces,
+                    (unsigned long long)m.catchup_installs,
+                    m.update_response.Mean());
+      out += buf;
+    }
+    return out;
+  };
+  std::vector<MetricsSnapshot> serial =
+      RunAll(specs, /*jobs=*/1, /*check_serializability=*/true, {},
+             /*post_run_audit=*/true);
+  std::vector<MetricsSnapshot> parallel =
+      RunAll(specs, /*jobs=*/4, /*check_serializability=*/true, {},
+             /*post_run_audit=*/true);
+  ASSERT_EQ(serial.size(), 24u);
+  EXPECT_EQ(fingerprint(serial), fingerprint(parallel));
+  // And the invariants themselves hold on every schedule.
+  for (size_t i = 0; i < serial.size(); ++i) {
+    EXPECT_EQ(serial[i].serializable, 1)
+        << i << ": " << serial[i].serializability_why;
+    EXPECT_EQ(serial[i].replicas_converged, 1)
+        << i << ": " << serial[i].convergence_why;
+    EXPECT_EQ(serial[i].stranded_txns, 0u) << i;
+  }
+}
+
 TEST(ThreadPoolTest, RunsEverySubmittedTask) {
   ThreadPool pool(8);
   EXPECT_EQ(pool.threads(), 8);

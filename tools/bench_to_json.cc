@@ -1,10 +1,15 @@
-// Converts key=value report lines (bench_kernel --report) into a JSON object.
+// Converts benchmark report output into a single JSON object.
 //
 //   ./bench_kernel --report | ./bench_to_json > BENCH_KERNEL.json
+//   ./bench_chaos --schedules=500 | ./bench_to_json > BENCH_CHAOS.json
 //
-// Values that parse fully as numbers are emitted as JSON numbers, everything
-// else as strings. Lines without '=' are ignored, so the tool can sit at the
-// end of a pipeline that also prints diagnostics.
+// Two input shapes compose freely:
+//   * key=value lines become top-level fields. Values that parse fully as
+//     numbers are emitted as JSON numbers, everything else as strings.
+//   * lines that are themselves JSON objects (the chaos harness emits one
+//     per run) are collected verbatim into a top-level "runs" array.
+// Anything else is ignored, so the tool can sit at the end of a pipeline
+// that also prints diagnostics.
 
 #include <cstdio>
 #include <cstdlib>
@@ -42,16 +47,24 @@ std::string EscapeJson(const std::string& s) {
 
 int main() {
   std::vector<std::pair<std::string, std::string>> entries;
+  std::vector<std::string> runs;
   char line[4096];
   while (std::fgets(line, sizeof(line), stdin) != nullptr) {
     std::string s(line);
     while (!s.empty() && (s.back() == '\n' || s.back() == '\r')) s.pop_back();
+    if (!s.empty() && s.front() == '{' && s.back() == '}') {
+      runs.push_back(s);
+      continue;
+    }
     size_t eq = s.find('=');
     if (eq == std::string::npos || eq == 0) continue;
+    // A key with spaces is prose that happens to contain '=', not a field.
+    if (s.find(' ') < eq) continue;
     entries.emplace_back(s.substr(0, eq), s.substr(eq + 1));
   }
 
   std::printf("{\n");
+  bool more = !runs.empty();
   for (size_t i = 0; i < entries.size(); ++i) {
     const auto& [key, value] = entries[i];
     std::printf("  \"%s\": ", EscapeJson(key).c_str());
@@ -60,7 +73,15 @@ int main() {
     } else {
       std::printf("\"%s\"", EscapeJson(value).c_str());
     }
-    std::printf(i + 1 < entries.size() ? ",\n" : "\n");
+    std::printf(i + 1 < entries.size() || more ? ",\n" : "\n");
+  }
+  if (!runs.empty()) {
+    std::printf("  \"runs\": [\n");
+    for (size_t i = 0; i < runs.size(); ++i) {
+      std::printf("    %s%s\n", runs[i].c_str(),
+                  i + 1 < runs.size() ? "," : "");
+    }
+    std::printf("  ]\n");
   }
   std::printf("}\n");
   return 0;

@@ -49,6 +49,12 @@ void PrintHelp() {
       "  --crash-graph-site              include the graph site in the rotation\n"
       "  --crash=ENDPOINT,AT,DUR         scripted outage (repeatable;\n"
       "                                  endpoint <sites> = graph site)\n"
+      "  --partition=E1+E2+..@AT:DUR     scripted group partition: the listed\n"
+      "                                  endpoints are cut off from the rest\n"
+      "                                  during [AT, AT+DUR) (repeatable)\n"
+      "  --amnesia                       crashes wipe volatile state; sites\n"
+      "                                  replay their WAL on recovery\n"
+      "  --checkpoint-interval=SEC       fuzzy checkpoint period (amnesia)\n"
       "  --retries=N --rto=SEC           reliable-messaging retry policy\n"
       "output\n"
       "  --csv=FILE                      append a machine-readable row\n"
@@ -212,6 +218,29 @@ int main(int argc, char** argv) {
       c.at = at;
       c.duration = dur;
       config.fault.crashes.push_back(c);
+    } else if (FlagValue(a, "--partition", &v)) {
+      // E1+E2+..@AT:DUR — group members separated by '+', then the window.
+      fault::ScheduledPartition part;
+      const char* s = v;
+      char* end = nullptr;
+      for (;;) {
+        long e = std::strtol(s, &end, 10);
+        if (end == s) break;
+        part.group.push_back(static_cast<int>(e));
+        s = end;
+        if (*s != '+') break;
+        ++s;
+      }
+      if (part.group.empty() || *s != '@' ||
+          std::sscanf(s + 1, "%lf:%lf", &part.at, &part.duration) != 2) {
+        std::fprintf(stderr, "--partition wants E1+E2+..@AT:DUR\n");
+        return 1;
+      }
+      config.fault.partitions.push_back(std::move(part));
+    } else if (std::strcmp(a, "--amnesia") == 0) {
+      config.fault.amnesia = true;
+    } else if (FlagValue(a, "--checkpoint-interval", &v)) {
+      config.fault.checkpoint_interval = std::atof(v);
     } else if (FlagValue(a, "--retries", &v)) {
       config.fault.max_retries = std::atoi(v);
     } else if (FlagValue(a, "--rto", &v)) {
@@ -231,6 +260,10 @@ int main(int argc, char** argv) {
     }
   }
   config.Normalize();
+  if (std::string err; !config.fault.Validate(&err)) {
+    std::fprintf(stderr, "invalid fault parameters: %s\n", err.c_str());
+    return 1;
+  }
 
   std::vector<core::RunSpec> specs;
   specs.reserve(protocols.size());
