@@ -25,7 +25,7 @@
 #include <string>
 #include <vector>
 
-#include "net/star_network.h"
+#include "net/network.h"
 #include "sim/facility.h"
 #include "sim/frame_pool.h"
 #include "sim/process.h"
@@ -166,11 +166,11 @@ ScenarioResult CoroutineHops(int rounds) {
   });
 }
 
-Process MulticastDriver(Simulation* sim, net::StarNetwork* net,
+Process MulticastDriver(Simulation* sim, net::Network* net,
                         const std::vector<db::SiteId>* dsts, int sends,
                         uint64_t* delivered) {
   for (int i = 0; i < sends; ++i) {
-    net::StarNetwork::DeliveryFn on_delivered = [delivered](db::SiteId) {
+    net::Network::DeliveryFn on_delivered = [delivered](db::SiteId) {
       ++*delivered;
     };
     co_await net->Multicast(0, *dsts, 1000, std::move(on_delivered));
@@ -183,12 +183,48 @@ ScenarioResult Multicast(int rounds) {
   constexpr int kSites = 8;
   constexpr int kSends = 2000;
   Simulation sim;
-  net::StarNetwork net(&sim, kSites, net::NetworkParams{});
+  net::Network net(&sim, kSites, net::NetworkParams{});
   std::vector<db::SiteId> dsts;
   for (int s = 1; s < kSites; ++s) dsts.push_back(static_cast<db::SiteId>(s));
   uint64_t delivered = 0;
   return Measure("multicast", rounds, &sim, [&] {
     sim.Spawn(MulticastDriver(&sim, &net, &dsts, kSends, &delivered));
+    sim.Run();
+  });
+}
+
+Process GeoDriver(Simulation* sim, net::Network* net,
+                  const std::vector<db::SiteId>* dsts, int sends,
+                  uint64_t* delivered) {
+  for (int i = 0; i < sends; ++i) {
+    // One cross-backbone unicast plus one all-sites multicast per iteration:
+    // the routed hot path (route tables, per-subtree fan-out, climb legs).
+    co_await net->Transfer(0, dsts->back(), 1000);
+    net::Network::DeliveryFn on_delivered = [delivered](db::SiteId) {
+      ++*delivered;
+    };
+    co_await net->Multicast(0, *dsts, 1000, std::move(on_delivered));
+  }
+}
+
+/// Routed multicast over a geo tree (3 DCs x 2 metros): the uplink is
+/// traversed once per receiving subtree, and the interior climb/descend legs
+/// must stay as allocation-free as the flat star's.
+ScenarioResult GeoMulticast(int rounds) {
+  constexpr int kSites = 12;
+  constexpr int kSends = 1000;
+  Simulation sim;
+  net::TopologySpec spec;
+  spec.kind = net::TopologySpec::Kind::kGeo;
+  spec.datacenters = 3;
+  spec.metros_per_dc = 2;
+  net::NetworkParams params;
+  net::Network net(&sim, net::BuildTopology(spec, kSites, params), params);
+  std::vector<db::SiteId> dsts;
+  for (int s = 1; s < kSites; ++s) dsts.push_back(static_cast<db::SiteId>(s));
+  uint64_t delivered = 0;
+  return Measure("geo_multicast", rounds, &sim, [&] {
+    sim.Spawn(GeoDriver(&sim, &net, &dsts, kSends, &delivered));
     sim.Run();
   });
 }
@@ -235,6 +271,7 @@ int Run(int argc, char** argv) {
   results.push_back(CancelHeavy(rounds));
   results.push_back(CoroutineHops(rounds));
   results.push_back(Multicast(rounds));
+  results.push_back(GeoMulticast(rounds));
 
   FramePoolStats pool = FramePoolThreadStats();
   if (report) {

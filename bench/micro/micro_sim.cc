@@ -3,7 +3,7 @@
 
 #include <benchmark/benchmark.h>
 
-#include "net/star_network.h"
+#include "net/network.h"
 #include "sim/facility.h"
 #include "sim/process.h"
 #include "sim/random.h"
@@ -109,11 +109,11 @@ void BM_FacilityContention(benchmark::State& state) {
 }
 BENCHMARK(BM_FacilityContention)->Arg(10)->Arg(100);
 
-Process MulticastLoop(Simulation* sim, net::StarNetwork* net,
+Process MulticastLoop(Simulation* sim, net::Network* net,
                       const std::vector<db::SiteId>* dsts, int sends,
                       uint64_t* delivered) {
   for (int i = 0; i < sends; ++i) {
-    net::StarNetwork::DeliveryFn on_delivered = [delivered](db::SiteId) {
+    net::Network::DeliveryFn on_delivered = [delivered](db::SiteId) {
       ++*delivered;
     };
     co_await net->Multicast(0, *dsts, 1000, std::move(on_delivered));
@@ -127,7 +127,7 @@ void BM_NetworkMulticast(benchmark::State& state) {
   const int sends = 1000;
   for (auto _ : state) {
     Simulation sim;
-    net::StarNetwork net(&sim, sites, net::NetworkParams{});
+    net::Network net(&sim, sites, net::NetworkParams{});
     std::vector<db::SiteId> dsts;
     for (int s = 1; s < sites; ++s) dsts.push_back(static_cast<db::SiteId>(s));
     uint64_t delivered = 0;

@@ -36,8 +36,15 @@ void SystemConfig::Normalize() {
   LAZYREP_CHECK(num_sites >= 1);
   LAZYREP_CHECK(tps > 0);
   LAZYREP_CHECK(workload.items_per_site >= 1);
+  std::string topo_error;
+  LAZYREP_CHECK_MSG(topology.Validate(&topo_error), topo_error.c_str());
+  // Fault specs are checked against the same topology System will build
+  // (sites plus the auxiliary graph endpoint), so an unknown partition group
+  // or an out-of-range endpoint is a hard error at every entry point.
+  net::Topology topo = BuildTopology();
+  topo.AddAuxEndpoint(net::AccessEdge(network));
   std::string fault_error;
-  LAZYREP_CHECK_MSG(fault.Validate(&fault_error), fault_error.c_str());
+  LAZYREP_CHECK_MSG(fault.Validate(topo, &fault_error), fault_error.c_str());
 }
 
 SystemConfig SystemConfig::Oc3() {
@@ -127,7 +134,22 @@ std::string FormatConfigTable(const SystemConfig& c) {
       c.disk.transfer_rate / 1e6, c.disk.disks_per_site,
       c.disk.buffer_miss_ratio * 100, c.graph.add_instr,
       c.graph.check_instr_per_edge, c.graph.queue_bound);
-  return buf;
+  std::string out = buf;
+  // The historical star table is reproduced byte-for-byte above; geo layouts
+  // append their extra knobs so study headers stay self-describing.
+  if (c.topology.kind == net::TopologySpec::Kind::kGeo) {
+    char tbuf[512];
+    std::snprintf(tbuf, sizeof(tbuf),
+                  "Topology parameters\n"
+                  "  Layout                           %s\n"
+                  "  Backbone link                    %.0f Mb/sec, %.3g sec\n"
+                  "  Metro uplink                     %.0f Mb/sec, %.3g sec\n",
+                  c.topology.ToString().c_str(), c.topology.backbone_bps / 1e6,
+                  c.topology.backbone_latency, c.topology.uplink_bps / 1e6,
+                  c.topology.uplink_latency);
+    out += tbuf;
+  }
+  return out;
 }
 
 }  // namespace lazyrep::core

@@ -6,7 +6,7 @@
 
 #include "fault/fault_params.h"
 #include "hw/disk.h"
-#include "net/star_network.h"
+#include "net/network.h"
 #include "rg/graph_site.h"
 #include "txn/workload.h"
 
@@ -43,6 +43,11 @@ struct SystemConfig {
 
   // -- network / disks / graph site -------------------------------------------
   net::NetworkParams network;
+  /// Shape of the network: the paper's flat star (default) or a composed
+  /// geo-hierarchical tree (backbone -> datacenters -> metro stars). Site
+  /// access links and metro switches always take their parameters from
+  /// `network`; the spec adds the backbone/uplink edges on top.
+  net::TopologySpec topology;
   hw::DiskParams disk;
   rg::GraphSiteParams graph;
 
@@ -129,6 +134,13 @@ struct SystemConfig {
 
   /// Validates internal consistency (e.g. workload.num_sites == num_sites).
   void Normalize();
+
+  /// Builds the topology tree for the configured site count — sites only;
+  /// auxiliary endpoints (the graph site) are allocated by core::System on
+  /// top of the returned tree.
+  net::Topology BuildTopology() const {
+    return net::BuildTopology(topology, num_sites, network);
+  }
 
   // -- the paper's study presets -------------------------------------------------
   static SystemConfig Oc3();                 ///< §4.1: 100 sites, metro ATM

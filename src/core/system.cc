@@ -26,9 +26,13 @@ System::System(const SystemConfig& config, ProtocolKind kind)
         &sim_, static_cast<db::SiteId>(s), config_,
         config_.seed * 1000003 + s));
   }
-  // One extra endpoint for the dedicated graph site.
-  network_ = std::make_unique<net::StarNetwork>(&sim_, config_.num_sites + 1,
-                                                config_.network);
+  // The graph site's endpoint is allocated explicitly from the topology
+  // (an auxiliary leaf at the root switch), replacing the historical
+  // "endpoint num_sites" convention.
+  net::Topology topology = config_.BuildTopology();
+  graph_endpoint_ = topology.AddAuxEndpoint(net::AccessEdge(config_.network));
+  network_ = std::make_unique<net::Network>(&sim_, std::move(topology),
+                                            config_.network);
   if (kind_ == ProtocolKind::kPessimistic ||
       kind_ == ProtocolKind::kOptimistic) {
     graph_cpu_ = std::make_unique<hw::Cpu>(&sim_, "graph_cpu",
@@ -51,8 +55,8 @@ System::System(const SystemConfig& config, ProtocolKind kind)
     // Dedicated stream: the injector's draws never perturb the workload or
     // disk streams, so fault-free structure is preserved point for point.
     injector_ = std::make_unique<fault::FaultInjector>(
-        &sim_, config_.num_sites + 1, config_.fault,
-        config_.seed * 7919 + 13);
+        &sim_, network_->num_endpoints(), config_.fault,
+        config_.seed * 7919 + 13, &network_->topology());
     network_->set_fault_hook([this](db::SiteId src, db::SiteId dst) {
       return injector_->OnDelivery(src, dst);
     });

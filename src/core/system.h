@@ -19,7 +19,7 @@
 #include "fault/wal.h"
 #include "hw/cpu.h"
 #include "hw/disk.h"
-#include "net/star_network.h"
+#include "net/network.h"
 #include "rg/graph_site.h"
 #include "rg/replication_graph.h"
 #include "sim/condition.h"
@@ -74,14 +74,16 @@ class System {
   const SystemConfig& config() const { return config_; }
   Site& site(db::SiteId s) { return *sites_[s]; }
   int num_sites() const { return config_.num_sites; }
-  net::StarNetwork& network() { return *network_; }
+  net::Network& network() { return *network_; }
+  /// The topology the network routes over (star by default).
+  const net::Topology& topology() const { return network_->topology(); }
   db::CompletionTracker& tracker() { return tracker_; }
   /// Null when running the locking or eager protocol.
   rg::GraphSite* graph_site() { return graph_site_.get(); }
-  /// The graph site's network endpoint index.
-  db::SiteId graph_endpoint() const {
-    return static_cast<db::SiteId>(config_.num_sites);
-  }
+  /// The graph site's network endpoint, allocated explicitly from the
+  /// topology at construction (sites occupy 0..num_sites-1, auxiliary
+  /// endpoints follow).
+  db::SiteId graph_endpoint() const { return graph_endpoint_; }
   Metrics& metrics() { return metrics_; }
   txn::Transaction* FindTxn(db::TxnId id);
 
@@ -302,7 +304,8 @@ class System {
   sim::Simulation sim_;
   txn::WorkloadGenerator generator_;
   std::vector<std::unique_ptr<Site>> sites_;
-  std::unique_ptr<net::StarNetwork> network_;
+  std::unique_ptr<net::Network> network_;
+  db::SiteId graph_endpoint_ = 0;
   std::unique_ptr<hw::Cpu> graph_cpu_;
   std::unique_ptr<rg::ReplicationGraph> rgraph_;
   std::unique_ptr<rg::GraphSite> graph_site_;

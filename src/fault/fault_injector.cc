@@ -7,7 +7,8 @@
 namespace lazyrep::fault {
 
 FaultInjector::FaultInjector(sim::Simulation* sim, int num_endpoints,
-                             const FaultParams& params, uint64_t seed)
+                             const FaultParams& params, uint64_t seed,
+                             const net::Topology* topology)
     : sim_(sim),
       params_(params),
       rng_(seed),
@@ -20,18 +21,36 @@ FaultInjector::FaultInjector(sim::Simulation* sim, int num_endpoints,
       pending_(num_endpoints) {
   LAZYREP_CHECK(num_endpoints >= 1);
   std::string error;
-  LAZYREP_CHECK_MSG(params_.Validate(&error), error.c_str());
+  LAZYREP_CHECK_MSG(topology != nullptr ? params_.Validate(*topology, &error)
+                                        : params_.Validate(&error),
+                    error.c_str());
   for (const LinkFault& lf : params_.link_faults) {
     LAZYREP_CHECK(lf.endpoint >= 0 && lf.endpoint < num_endpoints);
     incoming_[lf.endpoint] = EndpointFaults{lf.loss_prob, lf.dup_prob};
   }
   partitions_.reserve(params_.partitions.size());
+  std::vector<db::SiteId> members;
   for (const ScheduledPartition& sp : params_.partitions) {
     Partition p;
-    p.member.assign(num_endpoints, 0);
+    p.label.assign(num_endpoints, 0);
     for (int e : sp.group) {
       LAZYREP_CHECK(e >= 0 && e < num_endpoints);
-      p.member[e] = 1;
+      p.label[e] = 1;
+    }
+    int next_label = 1;
+    for (const std::string& name : sp.groups) {
+      LAZYREP_CHECK_MSG(topology != nullptr,
+                        "named partition groups need a topology");
+      int g = topology->FindGroup(name);
+      LAZYREP_CHECK_MSG(g != net::Topology::kNoGroup,
+                        "unknown topology group in partition");
+      members.clear();
+      topology->EndpointsUnder(g, &members);
+      for (db::SiteId e : members) {
+        LAZYREP_CHECK(e < num_endpoints);
+        p.label[e] = next_label;
+      }
+      ++next_label;
     }
     partitions_.push_back(std::move(p));
   }
@@ -163,7 +182,7 @@ int FaultInjector::OnDelivery(db::SiteId src, db::SiteId dst) {
     return 0;
   }
   for (const Partition& p : partitions_) {
-    if (p.active && p.member[src] != p.member[dst]) {
+    if (p.active && p.label[src] != p.label[dst]) {
       ++dropped_;
       ++partition_drops_;
       return 0;

@@ -49,9 +49,12 @@ class FaultInjector {
   /// its recovery should begin (start of costed replay).
   using EndpointHook = std::function<void(int endpoint)>;
 
-  /// `num_endpoints` counts the star-network endpoints (sites + graph site).
+  /// `num_endpoints` counts the network endpoints (sites + graph site).
+  /// `topology` is required when any scheduled partition names topology
+  /// groups; it is only read during construction (label resolution).
   FaultInjector(sim::Simulation* sim, int num_endpoints,
-                const FaultParams& params, uint64_t seed);
+                const FaultParams& params, uint64_t seed,
+                const net::Topology* topology = nullptr);
   FaultInjector(const FaultInjector&) = delete;
   FaultInjector& operator=(const FaultInjector&) = delete;
   ~FaultInjector();
@@ -74,7 +77,7 @@ class FaultInjector {
   /// drain converges.
   void Stop();
 
-  /// StarNetwork delivery hook. Returns the number of copies that arrive on
+  /// Network delivery hook. Returns the number of copies that arrive on
   /// `dst`'s incoming link: 0 = dropped (loss, partition, or an endpoint is
   /// down), 1 = normal, 2 = duplicated (payload delivered once).
   int OnDelivery(db::SiteId src, db::SiteId dst);
@@ -117,9 +120,13 @@ class FaultInjector {
     double dup_prob;
   };
 
-  /// One scheduled partition, precomputed for O(1) membership tests.
+  /// One scheduled partition, precomputed for O(1) membership tests. Every
+  /// endpoint carries an island label; a delivery is dropped while the
+  /// partition is active and the two labels differ. The historical
+  /// group-vs-rest form uses labels {1, 0}; named topology groups get one
+  /// label per island.
   struct Partition {
-    std::vector<char> member;  // indexed by endpoint
+    std::vector<int> label;  // indexed by endpoint
     bool active = false;
   };
 

@@ -76,8 +76,14 @@ bool FaultParams::Validate(std::string* error) const {
     }
   }
   for (const ScheduledPartition& part : partitions) {
-    if (part.group.empty()) {
+    if (part.group.empty() && part.groups.empty()) {
       return Fail(error, "scheduled partition at t=%g has an empty group",
+                  part.at);
+    }
+    if (!part.group.empty() && !part.groups.empty()) {
+      return Fail(error,
+                  "scheduled partition at t=%g mixes endpoint ids and named "
+                  "topology groups; pick one spelling",
                   part.at);
     }
     if (part.at < 0 || part.duration <= 0) {
@@ -88,6 +94,12 @@ bool FaultParams::Validate(std::string* error) const {
     }
     for (int e : part.group) {
       if (e < 0) return Fail(error, "partition group endpoint %d negative", e);
+    }
+    for (const std::string& name : part.groups) {
+      if (name.empty()) {
+        return Fail(error, "scheduled partition at t=%g names an empty group",
+                    part.at);
+      }
     }
   }
   if (max_retries < 0) {
@@ -111,6 +123,67 @@ bool FaultParams::Validate(std::string* error) const {
     if (replay_instr_per_record < 0) {
       return Fail(error, "replay_instr_per_record %g negative",
                   replay_instr_per_record);
+    }
+  }
+  return true;
+}
+
+bool FaultParams::Validate(const net::Topology& topology,
+                           std::string* error) const {
+  if (!Validate(error)) return false;
+  const int num_endpoints = topology.num_endpoints();
+  for (const LinkFault& lf : link_faults) {
+    if (lf.endpoint >= num_endpoints) {
+      return Fail(error, "link_fault endpoint %d outside topology (%d endpoints)",
+                  lf.endpoint, num_endpoints);
+    }
+  }
+  for (const ScheduledCrash& c : crashes) {
+    if (c.endpoint >= num_endpoints) {
+      return Fail(error,
+                  "scripted crash endpoint %d outside topology (%d endpoints)",
+                  c.endpoint, num_endpoints);
+    }
+  }
+  std::vector<char> claimed(num_endpoints, 0);
+  std::vector<db::SiteId> members;
+  for (const ScheduledPartition& part : partitions) {
+    std::fill(claimed.begin(), claimed.end(), 0);
+    for (int e : part.group) {
+      if (e >= num_endpoints) {
+        return Fail(error,
+                    "partition endpoint %d outside topology (%d endpoints)", e,
+                    num_endpoints);
+      }
+      if (claimed[e]) {
+        return Fail(error, "partition at t=%g lists endpoint %d twice",
+                    part.at, e);
+      }
+      claimed[e] = 1;
+    }
+    for (const std::string& name : part.groups) {
+      int g = topology.FindGroup(name);
+      if (g == net::Topology::kNoGroup) {
+        return Fail(error,
+                    "partition at t=%g names unknown topology group '%s'",
+                    part.at, name.c_str());
+      }
+      members.clear();
+      topology.EndpointsUnder(g, &members);
+      if (members.empty()) {
+        return Fail(error,
+                    "partition at t=%g: topology group '%s' has no endpoints",
+                    part.at, name.c_str());
+      }
+      for (db::SiteId e : members) {
+        if (claimed[e]) {
+          return Fail(error,
+                      "partition at t=%g has overlapping halves: endpoint %d "
+                      "is in '%s' and another island",
+                      part.at, static_cast<int>(e), name.c_str());
+        }
+        claimed[e] = 1;
+      }
     }
   }
   return true;

@@ -6,6 +6,8 @@
 #include <string>
 #include <vector>
 
+#include "net/topology.h"
+
 namespace lazyrep::fault {
 
 /// A deterministic one-shot outage: `endpoint` is unreachable during
@@ -17,14 +19,24 @@ struct ScheduledCrash {
   double duration = 0;
 };
 
-/// A deterministic network partition: during [at, at + duration) the
-/// endpoints in `group` can talk among themselves but every delivery leg
-/// crossing the group boundary is dropped at the switch. Endpoints stay up —
-/// no state is lost — so healing needs no recovery, only retransmission.
+/// A deterministic network partition: during [at, at + duration) every
+/// delivery leg crossing an island boundary is dropped at the switch.
+/// Endpoints stay up — no state is lost — so healing needs no recovery,
+/// only retransmission.
+///
+/// Islands come in two (mutually exclusive) spellings:
+///  * `group`: an explicit endpoint list; those endpoints form one island,
+///    everything else forms the other (the historical site-group syntax).
+///  * `groups`: named topology groups ("dc0", "dc1.m0", ...); each name cuts
+///    its subtree's uplink edges, isolating it as its own island, with all
+///    remaining endpoints forming one final island. Requires a topology and
+///    is validated against it (unknown names and overlapping halves are
+///    hard errors at every entry point).
 struct ScheduledPartition {
   std::vector<int> group;
   double at = 0;
   double duration = 0;
+  std::vector<std::string> groups;
 };
 
 /// Per-link fault override: applies to deliveries INTO `endpoint` (its
@@ -108,6 +120,12 @@ struct FaultParams {
   /// and retry policy. Returns true when consistent; otherwise fills `error`
   /// with a human-readable description of the first problem found.
   bool Validate(std::string* error) const;
+
+  /// Topology-aware validation: everything Validate() checks, plus named
+  /// partition groups must exist in `topology`, partition islands must not
+  /// overlap, and endpoint indices (partitions, scripted crashes, link
+  /// faults) must be within the topology's endpoint range.
+  bool Validate(const net::Topology& topology, std::string* error) const;
 };
 
 }  // namespace lazyrep::fault

@@ -4,7 +4,7 @@
 
 namespace lazyrep::fault {
 
-ReliableChannel::ReliableChannel(sim::Simulation* sim, net::StarNetwork* net,
+ReliableChannel::ReliableChannel(sim::Simulation* sim, net::Network* net,
                                  const FaultParams& params, size_t ack_bytes)
     : sim_(sim),
       net_(net),

@@ -8,7 +8,7 @@
 
 #include "db/types.h"
 #include "fault/fault_params.h"
-#include "net/star_network.h"
+#include "net/network.h"
 #include "sim/process.h"
 #include "sim/simulation.h"
 
@@ -43,7 +43,7 @@ class ReliableChannel {
   /// skips the graph endpoint, which accounts its own message costs).
   using ChargeFn = std::function<sim::Task<void>(db::SiteId endpoint)>;
 
-  ReliableChannel(sim::Simulation* sim, net::StarNetwork* net,
+  ReliableChannel(sim::Simulation* sim, net::Network* net,
                   const FaultParams& params, size_t ack_bytes);
   ReliableChannel(const ReliableChannel&) = delete;
   ReliableChannel& operator=(const ReliableChannel&) = delete;
@@ -94,7 +94,7 @@ class ReliableChannel {
   bool RecordDelivery(uint64_t key, uint64_t seq, uint32_t sent_inc);
 
   sim::Simulation* sim_;
-  net::StarNetwork* net_;
+  net::Network* net_;
   ChargeFn charge_;
   size_t ack_bytes_;
   double rto_initial_;

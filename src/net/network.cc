@@ -1,0 +1,430 @@
+#include "net/network.h"
+
+#include <algorithm>
+#include <string>
+#include <utility>
+
+#include "sim/check.h"
+
+namespace lazyrep::net {
+
+Network::Network(sim::Simulation* sim, Topology topology,
+                 const NetworkParams& params)
+    : sim_(sim), topology_(std::move(topology)), params_(params) {
+  LAZYREP_CHECK(topology_.num_endpoints() >= 1);
+  BuildLinks();
+  BuildRoutes();
+}
+
+Network::Network(sim::Simulation* sim, int num_endpoints,
+                 const NetworkParams& params)
+    : Network(sim, Topology::Star(num_endpoints, params), params) {}
+
+void Network::BuildLinks() {
+  const int endpoints = topology_.num_endpoints();
+  leaf_edges_.resize(endpoints);
+  for (int i = 0; i < endpoints; ++i) {
+    const EdgeParams& ep = topology_.endpoint(i).uplink;
+    leaf_edges_[i].up.facility = std::make_unique<sim::Facility>(
+        sim_, "out_link_" + std::to_string(i));
+    leaf_edges_[i].up.bps = ep.up_bps;
+    leaf_edges_[i].up.propagation = ep.latency;
+    leaf_edges_[i].down.facility = std::make_unique<sim::Facility>(
+        sim_, "in_link_" + std::to_string(i));
+    leaf_edges_[i].down.bps = ep.down_bps;
+    leaf_edges_[i].down.propagation = ep.latency;
+  }
+  group_edges_.resize(topology_.num_groups());
+  for (int g = 1; g < topology_.num_groups(); ++g) {
+    const EdgeParams& ep = topology_.group(g).uplink;
+    const std::string& name = topology_.group(g).name;
+    group_edges_[g].up.facility =
+        std::make_unique<sim::Facility>(sim_, "up_" + name);
+    group_edges_[g].up.bps = ep.up_bps;
+    group_edges_[g].up.propagation = ep.latency;
+    group_edges_[g].down.facility =
+        std::make_unique<sim::Facility>(sim_, "down_" + name);
+    group_edges_[g].down.bps = ep.down_bps;
+    group_edges_[g].down.propagation = ep.latency;
+  }
+}
+
+void Network::BuildRoutes() {
+  const int endpoints = topology_.num_endpoints();
+  route_offset_.assign(static_cast<size_t>(endpoints) * endpoints, 0);
+  route_len_.assign(static_cast<size_t>(endpoints) * endpoints, 0);
+  hops_.clear();
+  std::vector<int> down_path;
+  for (db::SiteId src = 0; src < endpoints; ++src) {
+    for (db::SiteId dst = 0; dst < endpoints; ++dst) {
+      const size_t idx = static_cast<size_t>(src) * endpoints + dst;
+      route_offset_[idx] = static_cast<uint32_t>(hops_.size());
+      const int lca = LcaOf(src, dst);
+      // Up: the sender's access link, then every uplink below the LCA.
+      const EdgeParams& sup = topology_.endpoint(src).uplink;
+      hops_.push_back(
+          Hop{leaf_edges_[src].up.facility.get(), sup.up_bps, 0, sup.latency});
+      for (int g = topology_.endpoint(src).parent; g != lca;
+           g = topology_.group(g).parent) {
+        hops_.push_back(Hop{group_edges_[g].up.facility.get(),
+                            topology_.group(g).uplink.up_bps,
+                            topology_.group(g).switch_latency,
+                            topology_.group(g).uplink.latency});
+      }
+      // Down: uplinks from below the LCA to the receiver's switch (walked
+      // bottom-up, emitted top-down), then the receiver's access link.
+      down_path.clear();
+      for (int g = topology_.endpoint(dst).parent; g != lca;
+           g = topology_.group(g).parent) {
+        down_path.push_back(g);
+      }
+      for (size_t k = down_path.size(); k-- > 0;) {
+        const int g = down_path[k];
+        hops_.push_back(Hop{group_edges_[g].down.facility.get(),
+                            topology_.group(g).uplink.down_bps,
+                            topology_.group(topology_.group(g).parent)
+                                .switch_latency,
+                            topology_.group(g).uplink.latency});
+      }
+      const EdgeParams& dup = topology_.endpoint(dst).uplink;
+      hops_.push_back(
+          Hop{leaf_edges_[dst].down.facility.get(), dup.down_bps,
+              topology_.group(topology_.endpoint(dst).parent).switch_latency,
+              dup.latency});
+      route_len_[idx] =
+          static_cast<uint16_t>(hops_.size() - route_offset_[idx]);
+    }
+  }
+}
+
+int Network::LcaOf(db::SiteId a, db::SiteId b) const {
+  int x = topology_.endpoint(a).parent;
+  int y = topology_.endpoint(b).parent;
+  while (topology_.group(x).depth > topology_.group(y).depth) {
+    x = topology_.group(x).parent;
+  }
+  while (topology_.group(y).depth > topology_.group(x).depth) {
+    y = topology_.group(y).parent;
+  }
+  while (x != y) {
+    x = topology_.group(x).parent;
+    y = topology_.group(y).parent;
+  }
+  return x;
+}
+
+int Network::FateOf(db::SiteId src, db::SiteId dst) {
+  if (!fault_hook_) return 1;
+  int copies = fault_hook_(src, dst);
+  if (copies == 0) {
+    ++messages_dropped_;
+  } else if (copies > 1) {
+    copies_duplicated_ += copies - 1;
+  }
+  return copies;
+}
+
+sim::Task<bool> Network::Transfer(db::SiteId src, db::SiteId dst,
+                                  size_t bytes) {
+  const size_t idx =
+      static_cast<size_t>(src) * topology_.num_endpoints() + dst;
+  const Hop* hop = &hops_[route_offset_[idx]];
+  const int n = route_len_[idx];
+  const double bits = static_cast<double>(bytes) * 8.0;
+  co_await hop[0].facility->Use(bits / hop[0].bps);
+  if (hop[0].propagation > 0) co_await sim_->Delay(hop[0].propagation);
+  for (int k = 1; k + 1 < n; ++k) {
+    co_await sim_->Delay(hop[k].pre_delay);
+    co_await hop[k].facility->Use(bits / hop[k].bps);
+    if (hop[k].propagation > 0) co_await sim_->Delay(hop[k].propagation);
+  }
+  co_await sim_->Delay(hop[n - 1].pre_delay);
+  int copies = FateOf(src, dst);
+  if (copies == 0) co_return false;  // lost at the final switch
+  for (int i = 0; i < copies; ++i) {
+    co_await hop[n - 1].facility->Use(bits / hop[n - 1].bps);
+  }
+  if (hop[n - 1].propagation > 0) {
+    co_await sim_->Delay(hop[n - 1].propagation);
+  }
+  ++messages_delivered_;
+  co_return true;
+}
+
+Network::MulticastNode* Network::AcquireNode(DeliveryFn on_delivered,
+                                             int legs) {
+  MulticastNode* node = free_nodes_;
+  if (node != nullptr) {
+    free_nodes_ = node->next_free;
+    node->next_free = nullptr;
+  } else {
+    node_arena_.push_back(std::make_unique<MulticastNode>());
+    node = node_arena_.back().get();
+  }
+  node->on_delivered = std::move(on_delivered);
+  node->legs_in_flight = legs;
+  return node;
+}
+
+void Network::FinishLeg(MulticastNode* node) {
+  if (--node->legs_in_flight == 0) {
+    node->on_delivered.Reset();
+    node->next_free = free_nodes_;
+    free_nodes_ = node;
+  }
+}
+
+void Network::ArrangeRecips(db::SiteId src, MulticastNode* node) {
+  std::vector<db::SiteId>& recips = node->recips;
+  const size_t n = recips.size();
+  if (n <= 1) return;
+  if (scratch_.size() < n) scratch_.resize(n);
+  const int src_switch = topology_.endpoint(src).parent;
+  const int src_depth = topology_.group(src_switch).depth;
+  bool multilevel = false;
+  for (size_t i = 0; i < n && !multilevel; ++i) {
+    multilevel = LcaOf(src, recips[i]) != src_switch;
+  }
+  if (multilevel) {
+    // Stable-group by branch level, ascending: the climb spawns fan-outs in
+    // that order. In the flat star every recipient branches at level 0, so
+    // this pass (and the reorder it implies) never runs there.
+    size_t out = 0;
+    for (int depth = src_depth; out < n; --depth) {
+      LAZYREP_CHECK(depth >= 0);
+      for (size_t i = 0; i < n; ++i) {
+        if (topology_.group(LcaOf(src, recips[i])).depth == depth) {
+          scratch_[out++] = recips[i];
+        }
+      }
+    }
+    std::copy(scratch_.begin(), scratch_.begin() + n, recips.begin());
+  }
+  size_t begin = 0;
+  while (begin < n) {
+    const int lca = LcaOf(src, recips[begin]);
+    size_t end = begin;
+    while (end < n && LcaOf(src, recips[end]) == lca) ++end;
+    GroupByChild(lca, begin, end, node);
+    begin = end;
+  }
+}
+
+void Network::GroupByChild(int group, size_t begin, size_t end,
+                           MulticastNode* node) {
+  if (end - begin <= 1) return;
+  std::vector<db::SiteId>& recips = node->recips;
+  const int child_depth = topology_.group(group).depth + 1;
+  // Stable first-appearance grouping into the scratch buffer. Endpoints
+  // hanging directly off this switch (AncestorAt == kNoGroup) are their own
+  // singleton legs and keep their relative order — exactly the star's
+  // per-recipient spawn order when the tree is one level deep.
+  size_t out = 0;
+  for (size_t i = begin; i < end; ++i) {
+    const int child = topology_.AncestorAt(recips[i], child_depth);
+    if (child == Topology::kNoGroup) {
+      scratch_[out++] = recips[i];
+      continue;
+    }
+    bool seen = false;
+    for (size_t j = begin; j < i && !seen; ++j) {
+      seen = topology_.AncestorAt(recips[j], child_depth) == child;
+    }
+    if (seen) continue;
+    for (size_t j = i; j < end; ++j) {
+      if (topology_.AncestorAt(recips[j], child_depth) == child) {
+        scratch_[out++] = recips[j];
+      }
+    }
+  }
+  LAZYREP_CHECK(out == end - begin);
+  std::copy(scratch_.begin(), scratch_.begin() + out, recips.begin() + begin);
+  // Recurse into every interior run to group the next level down.
+  size_t i = begin;
+  while (i < end) {
+    const int child = topology_.AncestorAt(recips[i], child_depth);
+    if (child == Topology::kNoGroup) {
+      ++i;
+      continue;
+    }
+    size_t j = i + 1;
+    while (j < end &&
+           topology_.AncestorAt(recips[j], child_depth) == child) {
+      ++j;
+    }
+    GroupByChild(child, i, j, node);
+    i = j;
+  }
+}
+
+void Network::SpawnRuns(int group, size_t begin, size_t end, size_t bytes,
+                        db::SiteId src, MulticastNode* node) {
+  const int child_depth = topology_.group(group).depth + 1;
+  size_t i = begin;
+  while (i < end) {
+    const db::SiteId r = node->recips[i];
+    const int child = topology_.AncestorAt(r, child_depth);
+    if (child == Topology::kNoGroup) {
+      sim_->Spawn(LeafLeg(group, r, bytes, src, node));
+      ++i;
+      continue;
+    }
+    size_t j = i + 1;
+    while (j < end &&
+           topology_.AncestorAt(node->recips[j], child_depth) == child) {
+      ++j;
+    }
+    sim_->Spawn(DescendBranch(child, i, j, bytes, src, node));
+    i = j;
+  }
+}
+
+sim::Task<void> Network::MulticastSend(db::SiteId src, size_t bytes,
+                                       MulticastNode* node) {
+  // The switch tree replicates the packet: the sender's access link carries
+  // the message exactly once, then every edge toward a receiving subtree
+  // carries it once.
+  const Link& up = leaf_edges_[src].up;
+  co_await up.facility->Use(static_cast<double>(bytes) * 8.0 / up.bps);
+  if (node == nullptr) co_return;
+  if (up.propagation > 0) co_await sim_->Delay(up.propagation);
+  const int src_switch = topology_.endpoint(src).parent;
+  const size_t n = node->recips.size();
+  size_t level0 = 0;
+  while (level0 < n && LcaOf(src, node->recips[level0]) == src_switch) {
+    ++level0;
+  }
+  SpawnRuns(src_switch, 0, level0, bytes, src, node);
+  if (level0 < n) {
+    ++node->legs_in_flight;  // the climb keeps the node alive
+    sim_->Spawn(Climb(src, bytes, node, level0));
+  }
+}
+
+sim::Process Network::Climb(db::SiteId src, size_t bytes, MulticastNode* node,
+                            size_t next) {
+  int group = topology_.endpoint(src).parent;
+  const size_t n = node->recips.size();
+  size_t i = next;
+  while (i < n) {
+    LAZYREP_CHECK(topology_.group(group).parent != Topology::kNoGroup);
+    const Link& up = group_edges_[group].up;
+    co_await sim_->Delay(topology_.group(group).switch_latency);
+    co_await up.facility->Use(static_cast<double>(bytes) * 8.0 / up.bps);
+    if (up.propagation > 0) co_await sim_->Delay(up.propagation);
+    group = topology_.group(group).parent;
+    size_t end = i;
+    while (end < n && LcaOf(src, node->recips[end]) == group) ++end;
+    SpawnRuns(group, i, end, bytes, src, node);
+    i = end;
+  }
+  FinishLeg(node);
+}
+
+sim::Process Network::DescendBranch(int child, size_t begin, size_t end,
+                                    size_t bytes, db::SiteId src,
+                                    MulticastNode* node) {
+  co_await sim_->Delay(
+      topology_.group(topology_.group(child).parent).switch_latency);
+  const Link& down = group_edges_[child].down;
+  co_await down.facility->Use(static_cast<double>(bytes) * 8.0 / down.bps);
+  if (down.propagation > 0) co_await sim_->Delay(down.propagation);
+  SpawnRuns(child, begin, end, bytes, src, node);
+}
+
+sim::Process Network::LeafLeg(int parent_group, db::SiteId dst, size_t bytes,
+                              db::SiteId src, MulticastNode* node) {
+  co_await sim_->Delay(topology_.group(parent_group).switch_latency);
+  int copies = FateOf(src, dst);
+  if (copies > 0) {
+    const Link& down = leaf_edges_[dst].down;
+    const double tx = static_cast<double>(bytes) * 8.0 / down.bps;
+    for (int i = 0; i < copies; ++i) {
+      co_await down.facility->Use(tx);
+    }
+    if (down.propagation > 0) co_await sim_->Delay(down.propagation);
+    ++messages_delivered_;
+    if (node->on_delivered) node->on_delivered(dst);
+  }
+  FinishLeg(node);
+}
+
+sim::Task<void> Network::Multicast(db::SiteId src,
+                                   const std::vector<db::SiteId>& dsts,
+                                   size_t bytes, DeliveryFn on_delivered) {
+  MulticastNode* node = nullptr;
+  if (!dsts.empty()) {
+    node = AcquireNode(std::move(on_delivered), static_cast<int>(dsts.size()));
+    node->recips.assign(dsts.begin(), dsts.end());
+    ArrangeRecips(src, node);
+  }
+  return MulticastSend(src, bytes, node);
+}
+
+double Network::MeanUtilization() const {
+  // Leaf up-links first, then leaf down-links, then interior edges: the same
+  // summation order (hence the same floating-point sum) as the historical
+  // flat star, which had no interior edges.
+  double sum = 0;
+  int links = 0;
+  for (const Edge& e : leaf_edges_) {
+    sum += e.up.facility->Utilization();
+    ++links;
+  }
+  for (const Edge& e : leaf_edges_) {
+    sum += e.down.facility->Utilization();
+    ++links;
+  }
+  for (const Edge& e : group_edges_) {
+    if (e.up.facility == nullptr) continue;  // root has no uplink
+    sum += e.up.facility->Utilization();
+    sum += e.down.facility->Utilization();
+    links += 2;
+  }
+  return sum / static_cast<double>(links);
+}
+
+double Network::GroupUpUtilization(const std::string& name) const {
+  const int g = topology_.FindGroup(name);
+  LAZYREP_CHECK_MSG(g > 0, "unknown or root topology group");
+  return group_edges_[g].up.facility->Utilization();
+}
+
+double Network::GroupDownUtilization(const std::string& name) const {
+  const int g = topology_.FindGroup(name);
+  LAZYREP_CHECK_MSG(g > 0, "unknown or root topology group");
+  return group_edges_[g].down.facility->Utilization();
+}
+
+double Network::MaxUtilization() const {
+  double mx = 0;
+  for (const Edge& e : leaf_edges_) {
+    mx = std::max(mx, e.up.facility->Utilization());
+  }
+  for (const Edge& e : leaf_edges_) {
+    mx = std::max(mx, e.down.facility->Utilization());
+  }
+  for (const Edge& e : group_edges_) {
+    if (e.up.facility == nullptr) continue;
+    mx = std::max(mx, e.up.facility->Utilization());
+    mx = std::max(mx, e.down.facility->Utilization());
+  }
+  return mx;
+}
+
+void Network::ResetStats() {
+  for (Edge& e : leaf_edges_) {
+    e.up.facility->ResetStats();
+    e.down.facility->ResetStats();
+  }
+  for (Edge& e : group_edges_) {
+    if (e.up.facility == nullptr) continue;
+    e.up.facility->ResetStats();
+    e.down.facility->ResetStats();
+  }
+  messages_delivered_ = 0;
+  messages_dropped_ = 0;
+  copies_duplicated_ = 0;
+}
+
+}  // namespace lazyrep::net

@@ -97,7 +97,7 @@ sim::Task<bool> EagerProtocol::AcquireReplicaLocks(txn::Transaction* t,
       // materialized inside a co_await expression (here that would double-
       // release the captured shared_ptr). Moving from a named local instead
       // keeps exactly one destruction per object.
-      net::StarNetwork::DeliveryFn on_locked =
+      net::Network::DeliveryFn on_locked =
           [this, t, item, st, &round](db::SiteId dst) {
             sys_->sim().Spawn(
                 LockLeg(t, dst, item, st, &round, /*via_multicast=*/true));
@@ -267,7 +267,7 @@ sim::Process EagerProtocol::BroadcastOutcome(db::SiteId origin, TwoPCPtr pc) {
   }
   co_await sys_->site(origin).cpu.Execute(cfg.message_instr);
   // Named lvalue: see AcquireReplicaLocks for the toolchain bug this avoids.
-  net::StarNetwork::DeliveryFn on_outcome = [this, pc](db::SiteId dst) {
+  net::Network::DeliveryFn on_outcome = [this, pc](db::SiteId dst) {
     sys_->sim().Spawn([](EagerProtocol* self, TwoPCPtr p,
                          db::SiteId site) -> sim::Process {
       co_await self->sys_->site(site).cpu.Execute(
@@ -396,7 +396,7 @@ sim::Process EagerProtocol::Execute(txn::Transaction* t) {
     std::fill(pc->prepared.begin(), pc->prepared.end(), 1);
     co_await origin.cpu.Execute(cfg.message_instr);
     // Named lvalue: see AcquireReplicaLocks for the toolchain bug this avoids.
-    net::StarNetwork::DeliveryFn on_prepare = [this, t, pc](db::SiteId dst) {
+    net::Network::DeliveryFn on_prepare = [this, t, pc](db::SiteId dst) {
       sys_->sim().Spawn(Participant(t, dst, pc, /*via_multicast=*/true));
     };
     co_await sys_->network().Multicast(t->origin, pc->targets, bytes,

@@ -131,7 +131,7 @@ TEST_P(ProtocolFaults, PartitionHealsWithoutDivergence) {
   // and after the drain every replica agrees.
   SystemConfig c = SmallConfig(4, 40, 400, 67);
   c.fault.partitions.push_back(
-      {/*group=*/{0, 1}, /*at=*/2.0, /*duration=*/1.0});
+      {/*group=*/{0, 1}, /*at=*/2.0, /*duration=*/1.0, /*groups=*/{}});
   System system(c, GetParam());
   HistoryRecorder history;
   system.set_history(&history);

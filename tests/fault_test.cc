@@ -1,6 +1,6 @@
 // Unit tests for the fault-injection subsystem: parameter validation,
 // deterministic injector draws, crash/recovery windows, scheduled
-// partitions, the StarNetwork faulty-delivery hook, and the reliable
+// partitions, the Network faulty-delivery hook, and the reliable
 // channel's retry/backoff/dedup behaviour across endpoint crashes.
 
 #include <string>
@@ -10,7 +10,7 @@
 
 #include "fault/fault_injector.h"
 #include "fault/reliable_channel.h"
-#include "net/star_network.h"
+#include "net/network.h"
 #include "sim/process.h"
 #include "sim/simulation.h"
 
@@ -54,7 +54,8 @@ TEST(FaultParamsTest, OverlappingCrashWindowsOnOneEndpointAreRejected) {
 
 TEST(FaultParamsTest, MalformedPartitionAndRetryPolicyAreRejected) {
   FaultParams p;
-  p.partitions.push_back({/*group=*/{}, /*at=*/1.0, /*duration=*/1.0});
+  p.partitions.push_back(
+      {/*group=*/{}, /*at=*/1.0, /*duration=*/1.0, /*groups=*/{}});
   std::string err;
   EXPECT_FALSE(p.Validate(&err));
   EXPECT_NE(err.find("empty group"), std::string::npos) << err;
@@ -161,10 +162,84 @@ TEST(FaultInjectorTest, MtbfRotationCrashesAndRecovers) {
   EXPECT_EQ(inj.Downtime(0), downtime);
 }
 
+TEST(FaultParamsTest, TopologyValidationChecksGroupNamesAndRanges) {
+  net::TopologySpec spec;
+  spec.kind = net::TopologySpec::Kind::kGeo;
+  spec.datacenters = 2;
+  spec.metros_per_dc = 1;
+  net::Topology topo = net::BuildTopology(spec, 6, net::NetworkParams{});
+
+  FaultParams p;
+  std::string err;
+  p.partitions.push_back(
+      {/*group=*/{}, /*at=*/1.0, /*duration=*/1.0, /*groups=*/{}});
+  p.partitions.back().groups = {"dc0"};
+  EXPECT_TRUE(p.Validate(topo, &err)) << err;
+
+  // Unknown group names are hard errors.
+  p.partitions.back().groups = {"dc7"};
+  EXPECT_FALSE(p.Validate(topo, &err));
+  EXPECT_NE(err.find("unknown topology group"), std::string::npos) << err;
+
+  // Overlapping halves: dc0 and its own metro claim the same endpoints.
+  p.partitions.back().groups = {"dc0", "dc0.m0"};
+  EXPECT_FALSE(p.Validate(topo, &err));
+  EXPECT_NE(err.find("overlapping halves"), std::string::npos) << err;
+
+  // Mixing the endpoint-list and named-group spellings is rejected.
+  p.partitions.back().groups = {"dc0"};
+  p.partitions.back().group = {0};
+  EXPECT_FALSE(p.Validate(topo, &err));
+  EXPECT_NE(err.find("one spelling"), std::string::npos) << err;
+
+  // Endpoint ranges for legacy partitions and crashes come from the
+  // topology (6 sites -> endpoints 0..5).
+  p.partitions.clear();
+  p.partitions.push_back(
+      {/*group=*/{0, 6}, /*at=*/1.0, /*duration=*/1.0, /*groups=*/{}});
+  EXPECT_FALSE(p.Validate(topo, &err));
+  EXPECT_NE(err.find("outside topology"), std::string::npos) << err;
+  p.partitions.clear();
+  p.crashes.push_back({/*endpoint=*/6, /*at=*/1.0, /*duration=*/1.0});
+  EXPECT_FALSE(p.Validate(topo, &err));
+  EXPECT_NE(err.find("outside topology"), std::string::npos) << err;
+}
+
+TEST(FaultInjectorTest, NamedGroupPartitionIsolatesSubtree) {
+  Simulation sim;
+  net::TopologySpec spec;
+  spec.kind = net::TopologySpec::Kind::kGeo;
+  spec.datacenters = 2;
+  spec.metros_per_dc = 1;
+  net::Topology topo = net::BuildTopology(spec, 4, net::NetworkParams{});
+  FaultParams p;
+  p.partitions.push_back(
+      {/*group=*/{}, /*at=*/1.0, /*duration=*/1.0, /*groups=*/{}});
+  p.partitions.back().groups = {"dc0"};  // endpoints {0, 1} vs {2, 3}
+  FaultInjector inj(&sim, 4, p, 7, &topo);
+  inj.Start();
+  int in_island = -1, cross_out = -1, cross_in = -1, other_island = -1;
+  sim.ScheduleCallbackAt(1.5, [&] {
+    in_island = inj.OnDelivery(0, 1);
+    cross_out = inj.OnDelivery(0, 2);
+    cross_in = inj.OnDelivery(3, 1);
+    other_island = inj.OnDelivery(2, 3);
+  });
+  int healed = -1;
+  sim.ScheduleCallbackAt(2.5, [&] { healed = inj.OnDelivery(0, 2); });
+  sim.Run();
+  EXPECT_EQ(in_island, 1);
+  EXPECT_EQ(cross_out, 0);
+  EXPECT_EQ(cross_in, 0);
+  EXPECT_EQ(other_island, 1);
+  EXPECT_EQ(healed, 1);
+}
+
 TEST(FaultInjectorTest, PartitionDropsOnlyCrossGroupLegs) {
   Simulation sim;
   FaultParams p;
-  p.partitions.push_back({/*group=*/{0, 1}, /*at=*/1.0, /*duration=*/1.0});
+  p.partitions.push_back(
+      {/*group=*/{0, 1}, /*at=*/1.0, /*duration=*/1.0, /*groups=*/{}});
   FaultInjector inj(&sim, 4, p, 7);
   int in_group = -1, cross_out = -1, cross_in = -1, outsiders = -1;
   sim.ScheduleCallbackAt(0.5, [&] { EXPECT_EQ(inj.OnDelivery(0, 2), 1); });
@@ -217,7 +292,7 @@ TEST(FaultInjectorTest, StopCancelsRotationRestartedByScriptedOutage) {
   EXPECT_FALSE(inj.Recovering(0));
 }
 
-Process DoTransfer(Simulation* sim, net::StarNetwork* net, SiteId src,
+Process DoTransfer(Simulation* sim, net::Network* net, SiteId src,
                    SiteId dst, size_t bytes, bool* arrived, double* done_at) {
   *arrived = co_await net->Transfer(src, dst, bytes);
   *done_at = sim->Now();
@@ -225,7 +300,7 @@ Process DoTransfer(Simulation* sim, net::StarNetwork* net, SiteId src,
 
 TEST(NetworkFaultHookTest, DroppedTransferReturnsFalse) {
   Simulation sim;
-  net::StarNetwork net(&sim, 2, net::NetworkParams{0.1, 1e6});
+  net::Network net(&sim, 2, net::NetworkParams{0.1, 1e6});
   net.set_fault_hook([](SiteId, SiteId) { return 0; });
   bool arrived = true;
   double done = -1;
@@ -240,7 +315,7 @@ TEST(NetworkFaultHookTest, DroppedTransferReturnsFalse) {
 
 TEST(NetworkFaultHookTest, DuplicateOccupiesIncomingLinkTwice) {
   Simulation sim;
-  net::StarNetwork net(&sim, 2, net::NetworkParams{0.0, 1e6});
+  net::Network net(&sim, 2, net::NetworkParams{0.0, 1e6});
   net.set_fault_hook([](SiteId, SiteId) { return 2; });
   bool arrived = false;
   double done = -1;
@@ -269,7 +344,7 @@ FaultParams ChannelParams() {
 
 TEST(ReliableChannelTest, RetransmitsUntilDeliveredWithBackoff) {
   Simulation sim;
-  net::StarNetwork net(&sim, 2, net::NetworkParams{0.0, 1e9});
+  net::Network net(&sim, 2, net::NetworkParams{0.0, 1e9});
   int drops_left = 2;  // first two payload legs into site 1 are lost
   net.set_fault_hook([&](SiteId, SiteId dst) {
     if (dst == 1 && drops_left > 0) {
@@ -293,7 +368,7 @@ TEST(ReliableChannelTest, RetransmitsUntilDeliveredWithBackoff) {
 
 TEST(ReliableChannelTest, CappedRetriesGiveUp) {
   Simulation sim;
-  net::StarNetwork net(&sim, 2, net::NetworkParams{0.0, 1e9});
+  net::Network net(&sim, 2, net::NetworkParams{0.0, 1e9});
   net.set_fault_hook([](SiteId, SiteId) { return 0; });  // black hole
   ReliableChannel ch(&sim, &net, ChannelParams(), 64);
   bool ok = true;
@@ -308,7 +383,7 @@ TEST(ReliableChannelTest, CappedRetriesGiveUp) {
 
 TEST(ReliableChannelTest, RtoCapBoundsExponentialBackoff) {
   Simulation sim;
-  net::StarNetwork net(&sim, 2, net::NetworkParams{0.0, 1e9});
+  net::Network net(&sim, 2, net::NetworkParams{0.0, 1e9});
   int drops_left = 6;  // six payload legs lost, the seventh delivers
   net.set_fault_hook([&](SiteId, SiteId dst) {
     if (dst == 1 && drops_left > 0) {
@@ -337,7 +412,7 @@ TEST(ReliableChannelTest, SenderCrashRestartsSequencesWithoutFalseDuplicates) {
   // pre-crash traffic — a false duplicate would be acked but never handed
   // to the protocol, silently losing the payload.
   Simulation sim;
-  net::StarNetwork net(&sim, 2, net::NetworkParams{0.0, 1e9});
+  net::Network net(&sim, 2, net::NetworkParams{0.0, 1e9});
   ReliableChannel ch(&sim, &net, ChannelParams(), 64);
   bool ok1 = false, ok2 = false;
   double t1 = -1, t2 = -1;
@@ -360,7 +435,7 @@ TEST(ReliableChannelTest, ReceiverCrashWipesDedupStateCoherently) {
   // the rebuilt flow state may not misclassify fresh (never-seen) sequence
   // numbers as duplicates.
   Simulation sim;
-  net::StarNetwork net(&sim, 2, net::NetworkParams{0.0, 1e9});
+  net::Network net(&sim, 2, net::NetworkParams{0.0, 1e9});
   ReliableChannel ch(&sim, &net, ChannelParams(), 64);
   for (int round = 0; round < 3; ++round) {
     bool ok = false;
@@ -379,7 +454,7 @@ TEST(ReliableChannelTest, GiveUpThenFreshSendSucceedsAfterRecovery) {
   // false; once the receiver is reachable again a fresh send must go
   // through untainted by the abandoned attempt's sequence state.
   Simulation sim;
-  net::StarNetwork net(&sim, 2, net::NetworkParams{0.0, 1e9});
+  net::Network net(&sim, 2, net::NetworkParams{0.0, 1e9});
   bool receiver_down = true;
   net.set_fault_hook(
       [&](SiteId, SiteId dst) { return (dst == 1 && receiver_down) ? 0 : 1; });
@@ -401,7 +476,7 @@ TEST(ReliableChannelTest, GiveUpThenFreshSendSucceedsAfterRecovery) {
 
 TEST(ReliableChannelTest, LostAckTriggersDedupedRetransmission) {
   Simulation sim;
-  net::StarNetwork net(&sim, 2, net::NetworkParams{0.0, 1e9});
+  net::Network net(&sim, 2, net::NetworkParams{0.0, 1e9});
   int ack_drops = 1;  // payload arrives; the first ack (into site 0) is lost
   net.set_fault_hook([&](SiteId, SiteId dst) {
     if (dst == 0 && ack_drops > 0) {

@@ -4,7 +4,7 @@
 
 #include <gtest/gtest.h>
 
-#include "net/star_network.h"
+#include "net/network.h"
 #include "sim/process.h"
 #include "sim/simulation.h"
 
@@ -15,16 +15,16 @@ using db::SiteId;
 using sim::Process;
 using sim::Simulation;
 
-Process DoTransfer(Simulation* sim, StarNetwork* net, SiteId src, SiteId dst,
+Process DoTransfer(Simulation* sim, Network* net, SiteId src, SiteId dst,
                    size_t bytes, double* done_at) {
   co_await net->Transfer(src, dst, bytes);
   *done_at = sim->Now();
 }
 
-TEST(StarNetworkTest, TransferTimeIsTxPlusLatencyPlusRx) {
+TEST(NetworkTest, TransferTimeIsTxPlusLatencyPlusRx) {
   Simulation sim;
   NetworkParams p{/*latency=*/0.1, /*bandwidth_bps=*/1e6};  // 1 Mb/s
-  StarNetwork net(&sim, 4, p);
+  Network net(&sim, 4, p);
   double done = -1;
   // 12500 bytes = 100000 bits = 0.1 s per link.
   sim.Spawn(DoTransfer(&sim, &net, 0, 1, 12500, &done));
@@ -33,10 +33,10 @@ TEST(StarNetworkTest, TransferTimeIsTxPlusLatencyPlusRx) {
   EXPECT_EQ(net.messages_delivered(), 1u);
 }
 
-TEST(StarNetworkTest, OutgoingLinkSerializesSends) {
+TEST(NetworkTest, OutgoingLinkSerializesSends) {
   Simulation sim;
   NetworkParams p{0.0, 1e6};
-  StarNetwork net(&sim, 4, p);
+  Network net(&sim, 4, p);
   double done1 = -1;
   double done2 = -1;
   // Same sender, different receivers: the shared outgoing link serializes.
@@ -47,10 +47,10 @@ TEST(StarNetworkTest, OutgoingLinkSerializesSends) {
   EXPECT_NEAR(done2, 0.3, 1e-12);  // second send starts after the first
 }
 
-TEST(StarNetworkTest, DifferentSendersProceedInParallel) {
+TEST(NetworkTest, DifferentSendersProceedInParallel) {
   Simulation sim;
   NetworkParams p{0.0, 1e6};
-  StarNetwork net(&sim, 4, p);
+  Network net(&sim, 4, p);
   double done1 = -1;
   double done2 = -1;
   sim.Spawn(DoTransfer(&sim, &net, 0, 2, 12500, &done1));
@@ -60,10 +60,10 @@ TEST(StarNetworkTest, DifferentSendersProceedInParallel) {
   EXPECT_NEAR(done2, 0.2, 1e-12);
 }
 
-TEST(StarNetworkTest, SharedIncomingLinkSerializesReceives) {
+TEST(NetworkTest, SharedIncomingLinkSerializesReceives) {
   Simulation sim;
   NetworkParams p{0.0, 1e6};
-  StarNetwork net(&sim, 4, p);
+  Network net(&sim, 4, p);
   double done1 = -1;
   double done2 = -1;
   // Two senders target the same receiver: incoming link serializes arrival.
@@ -74,7 +74,7 @@ TEST(StarNetworkTest, SharedIncomingLinkSerializesReceives) {
   EXPECT_NEAR(done2, 0.3, 1e-12);
 }
 
-Process DoMulticast(Simulation* sim, StarNetwork* net, SiteId src,
+Process DoMulticast(Simulation* sim, Network* net, SiteId src,
                     std::vector<SiteId> dsts, size_t bytes,
                     std::vector<std::pair<SiteId, double>>* deliveries,
                     double* send_done) {
@@ -84,10 +84,10 @@ Process DoMulticast(Simulation* sim, StarNetwork* net, SiteId src,
   *send_done = sim->Now();
 }
 
-TEST(StarNetworkTest, MulticastUsesOutgoingLinkOnce) {
+TEST(NetworkTest, MulticastUsesOutgoingLinkOnce) {
   Simulation sim;
   NetworkParams p{/*latency=*/0.05, /*bandwidth_bps=*/1e6};
-  StarNetwork net(&sim, 4, p);
+  Network net(&sim, 4, p);
   std::vector<std::pair<SiteId, double>> deliveries;
   double send_done = -1;
   sim.Spawn(DoMulticast(&sim, &net, 0, {1, 2, 3}, 12500, &deliveries,
@@ -103,10 +103,10 @@ TEST(StarNetworkTest, MulticastUsesOutgoingLinkOnce) {
   EXPECT_EQ(net.messages_delivered(), 3u);
 }
 
-TEST(StarNetworkTest, MulticastDeliveryQueuesBehindIncomingTraffic) {
+TEST(NetworkTest, MulticastDeliveryQueuesBehindIncomingTraffic) {
   Simulation sim;
   NetworkParams p{0.0, 1e6};
-  StarNetwork net(&sim, 3, p);
+  Network net(&sim, 3, p);
   double p2p_done = -1;
   std::vector<std::pair<SiteId, double>> deliveries;
   double send_done = -1;
@@ -124,10 +124,10 @@ TEST(StarNetworkTest, MulticastDeliveryQueuesBehindIncomingTraffic) {
   EXPECT_NEAR(second, 0.3, 1e-12);
 }
 
-TEST(StarNetworkTest, UtilizationReflectsTraffic) {
+TEST(NetworkTest, UtilizationReflectsTraffic) {
   Simulation sim;
   NetworkParams p{0.0, 1e6};
-  StarNetwork net(&sim, 2, p);
+  Network net(&sim, 2, p);
   double done = -1;
   sim.Spawn(DoTransfer(&sim, &net, 0, 1, 12500, &done));
   sim.Run();
@@ -139,9 +139,9 @@ TEST(StarNetworkTest, UtilizationReflectsTraffic) {
   EXPECT_EQ(net.messages_delivered(), 0u);
 }
 
-TEST(StarNetworkTest, TransmitTimeArithmetic) {
+TEST(NetworkTest, TransmitTimeArithmetic) {
   Simulation sim;
-  StarNetwork oc3(&sim, 2, NetworkParams{0.004, 155e6});
+  Network oc3(&sim, 2, NetworkParams{0.004, 155e6});
   // 1 KB data item: 8192 bits / 155 Mb/s ≈ 52.85 µs.
   EXPECT_NEAR(oc3.TransmitTime(1024), 8192.0 / 155e6, 1e-12);
 }

@@ -1,0 +1,178 @@
+// Byte-identity regression for the default (flat star) topology.
+//
+// The expected strings below are hex-float fingerprints of three small study
+// sweeps captured from the historical StarNetwork implementation — the same
+// code that produced the committed results/{oc1,oc1star,oc3} references.
+// The routed Topology/Network layer must reproduce them bit-for-bit: the
+// flat star is the one-level special case of the tree, and any change to
+// event scheduling order (not just times) shifts RNG draws and shows up
+// here. Each sweep runs at --jobs=1 and --jobs=4 to pin the guarantee that
+// results are independent of the worker count.
+//
+// If a deliberate semantic change to the simulation invalidates these
+// fingerprints, regenerate them together with the committed results/
+// references — they describe the same behavior.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/study.h"
+
+namespace lazyrep::core {
+namespace {
+
+const std::vector<ProtocolKind> kAll = {
+    ProtocolKind::kLocking, ProtocolKind::kPessimistic,
+    ProtocolKind::kOptimistic, ProtocolKind::kEager};
+
+/// Hex-float fingerprint of one run: every field is either integral or
+/// printed with %a, so equality is bit-exactness, not approximation.
+std::string Fp(const MetricsSnapshot& m, ProtocolKind k, double x) {
+  char buf[1024];
+  std::snprintf(
+      buf, sizeof(buf),
+      "%a|%d|%llu|%llu|%llu|%llu|%a|%a|%a|%a|%a|%a|%a|%a|%a|%llu|%llu|%llu|"
+      "%llu|%llu|%llu|%llu|%llu|%llu",
+      x, static_cast<int>(k), (unsigned long long)m.submitted,
+      (unsigned long long)m.committed, (unsigned long long)m.completed,
+      (unsigned long long)m.aborted, m.completed_tps, m.abort_rate, m.duration,
+      m.read_only_response.Mean(), m.update_response.Mean(),
+      m.commit_to_complete.Mean(), m.graph_cpu_utilization,
+      m.mean_network_utilization, m.max_network_utilization,
+      (unsigned long long)m.lock_waits, (unsigned long long)m.graph_tests,
+      (unsigned long long)m.in_flight_at_end,
+      (unsigned long long)m.retransmissions,
+      (unsigned long long)m.msg_send_failures,
+      (unsigned long long)m.faults_injected_loss,
+      (unsigned long long)m.faults_injected_dup,
+      (unsigned long long)m.faults_injected_partition,
+      (unsigned long long)m.site_crashes);
+  return buf;
+}
+
+// -- sweep A: OC-3-flavored tiny star, all four protocols, two loads --------
+
+const char* kGoldenA[] = {
+    "0x1.4p+5|0|291|289|289|0|0x1.45420bb0b67f5p+5|0x0p+0|0x1.c6ecce8331c67p+2|0x1.89e07286f3763p-6|0x1.211aa8f9187c4p-5|0x1.9d577c03419a3p-6|0x0p+0|0x1.332e5e2c90eb8p-10|0x1.bfb02fa02b793p-10|73|0|2|0|0|0|0|0|0",
+    "0x1.68p+6|0|290|287|287|0|0x1.7bc0c778ae8ddp+6|0x0p+0|0x1.82f23aa5b227fp+1|0x1.8500453586112p-6|0x1.5d2a6a8a08ba7p-5|0x1.a3ac5e42bde23p-6|0x0p+0|0x1.473b63bfea4b2p-9|0x1.d90f55c832c0fp-9|81|0|3|0|0|0|0|0|0",
+    "0x1.4p+5|1|291|289|289|1|0x1.2ccdd1c202546p+5|0x1.c26b5392ea01cp-9|0x1.ebe88bb704d7dp+2|0x1.42b59a8651599p-6|0x1.f1850216a3e72p-6|0x1.9456e68664179p-6|0x1.473a96fbb85eap-8|0x1.803828a27d52ep-10|0x1.88d965c782015p-9|14|3178|1|0|0|0|0|0|0",
+    "0x1.68p+6|1|288|282|282|5|0x1.406fa7fcb7e05p+6|0x1.1c71c71c71c72p-6|0x1.c295faa2f141ep+1|0x1.bea3bc6202c5fp-6|0x1.0ac734c8f6e94p-5|0x1.bfe61d5ed0dcbp-6|0x1.78e1b7d14562fp-7|0x1.7c19062b0ccbbp-9|0x1.9a4e0a5e946a3p-8|28|3035|1|0|0|0|0|0|0",
+    "0x1.4p+5|2|289|284|284|1|0x1.25b5ed31615aep+5|0x1.c5894d10d4986p-9|0x1.ef1280a044d77p+2|0x1.00b3fe6742881p-6|0x1.0b05e8a57f2cbp-5|0x1.6f4b628da9034p-5|0x1.a466c2bc0c235p-9|0x1.98e5ffc16a28dp-12|0x1.2bc73ba4c86e3p-11|19|296|4|0|0|0|0|0|0",
+    "0x1.68p+6|2|292|171|170|118|0x1.974a583501e41p+5|0x1.9dcee773b9dcfp-2|0x1.ab68f6cf9d68fp+1|0x1.96cb008d38283p-6|0x1.b784b1ef1a956p-4|0x1.2b6bb3f39ffb8p-2|0x1.3dc371a5045fep-7|0x1.28903d62838ebp-11|0x1.c972c54cff50ep-11|96|271|4|0|0|0|0|0|0",
+    "0x1.4p+5|3|291|214|214|55|0x1.bb36fcea3db5ep+4|0x1.83143bd241198p-3|0x1.ee6c867058c04p+2|0x1.6ad6b59c83474p-5|0x1.1bd10ffd181acp-2|0x1.9c4cd2c93456p-6|0x0p+0|0x1.7d751e5fb134p-12|0x1.6a7e026a42c6dp-11|168|0|22|0|0|0|0|0|0",
+    "0x1.68p+6|3|290|78|78|157|0x1.a100f63e9d037p+4|0x1.152fab4152fabp-1|0x1.7f1360172300ep+1|0x1.2bb5040c838bap-3|0x1.4417afd7b62f8p-1|0x1.27d36e5a5ddcp-6|0x0p+0|0x1.43981d5a013cbp-13|0x1.2a9872fb27dfbp-12|341|0|55|0|0|0|0|0|0",
+};
+
+void RunSweepA(int jobs) {
+  std::vector<RunSpec> specs;
+  for (ProtocolKind k : kAll) {
+    for (double tps : {40.0, 90.0}) {
+      SystemConfig c;
+      c.num_sites = 4;
+      c.workload.items_per_site = 12;
+      c.tps = tps;
+      c.total_txns = 300;
+      c.warmup_per_site = 2;
+      c.seed = DerivePointSeed("geo-ident-a", k, tps, 17);
+      c.Normalize();
+      specs.push_back({c, k});
+    }
+  }
+  std::vector<MetricsSnapshot> ms =
+      RunAll(specs, jobs, /*check_serializability=*/true);
+  size_t i = 0;
+  for (ProtocolKind k : kAll) {
+    for (double tps : {40.0, 90.0}) {
+      EXPECT_EQ(Fp(ms[i], k, tps), kGoldenA[i]) << "point " << i;
+      ++i;
+    }
+  }
+}
+
+TEST(StarIdentityTest, SweepAMatchesHistoricalStarSerial) { RunSweepA(1); }
+TEST(StarIdentityTest, SweepAMatchesHistoricalStarParallel) { RunSweepA(4); }
+
+// -- sweep B: OC-1-flavored with loss, duplication, and a scripted
+//    endpoint-group partition ------------------------------------------------
+
+const char* kGoldenB[] = {
+    "0x1.9p+5|0|240|144|144|61|0x1.fd687df692ee1p+4|0x1.0444444444444p-2|0x1.21771f4591c9p+2|0x1.1d25e845ac5e2p+0|0x0p+0|0x0p+0|0x0p+0|0x1.be4631900902bp-8|0x1.5da0a65876af3p-7|391|0|35|2559|156|2715|81|2639|0",
+    "0x1.9p+5|1|238|173|167|40|0x1.0d94f30d99743p+5|0x1.5833a15833a16p-3|0x1.3d2c3689a9a98p+2|0x1.26667d0ae19e2p-1|0x1.b17e775fe293p-2|0x1.00df32372291fp+2|0x1.460b57889a5c7p-7|0x1.dc51bc26d402fp-8|0x1.4e3a0c0994ff2p-6|6|2323|31|2050|108|2158|89|2052|0",
+    "0x1.9p+5|2|237|79|42|126|0x1.2b622ba3ccf83p+3|0x1.1033d91d2a206p-1|0x1.1f4f793c47d9cp+2|0x1.c59cd15b5cc26p-5|0x1.0508b11b742e4p-1|0x0p+0|0x1.38b6c08a4f2b3p-8|0x1.3ef45fd841e84p-10|0x1.4cae2cc6f3f53p-9|152|201|70|189|12|201|10|195|0",
+    "0x1.9p+5|3|238|86|85|129|0x1.3390b0cd1ffaap+4|0x1.15833a15833a1p-1|0x1.1aff355e08ebbp+2|0x1.79f7e97fadc18p-5|0x1.361b09022148ep+1|0x0p+0|0x0p+0|0x1.ebe8f3cda7a0cp-11|0x1.9cce98e66830ep-10|194|0|24|483|12|495|13|485|0",
+};
+
+void RunSweepB(int jobs) {
+  std::vector<RunSpec> specs;
+  for (ProtocolKind k : kAll) {
+    SystemConfig c;
+    c.num_sites = 5;
+    c.workload.items_per_site = 10;
+    c.network.latency = 0.1;
+    c.network.bandwidth_bps = 55e6;
+    c.tps = 50;
+    c.total_txns = 250;
+    c.warmup_per_site = 2;
+    c.seed = DerivePointSeed("geo-ident-b", k, 50, 23);
+    c.fault.loss_prob = 0.01;
+    c.fault.dup_prob = 0.01;
+    fault::ScheduledPartition p;
+    p.group = {0, 1};
+    p.at = 1.0;
+    p.duration = 2.0;
+    c.fault.partitions.push_back(p);
+    c.Normalize();
+    specs.push_back({c, k});
+  }
+  std::vector<MetricsSnapshot> ms =
+      RunAll(specs, jobs, /*check_serializability=*/true);
+  for (size_t i = 0; i < ms.size(); ++i) {
+    EXPECT_EQ(Fp(ms[i], kAll[i], 50), kGoldenB[i]) << "point " << i;
+  }
+}
+
+TEST(StarIdentityTest, SweepBMatchesHistoricalStarSerial) { RunSweepB(1); }
+TEST(StarIdentityTest, SweepBMatchesHistoricalStarParallel) { RunSweepB(4); }
+
+// -- sweep C: chaos schedules (crashes, amnesia, partitions, retries),
+//    post-run replica audit on ----------------------------------------------
+
+const char* kGoldenC[] = {
+    "0x0p+0|0|121|91|91|27|0x1.d9e3348f716b1p+4|0x1.c8fde26152833p-3|0x1.89465688b974ep+1|0x1.6b222bb8b9c8ap-2|0x1.1815ebebad74cp-2|0x1.b6efa6e5f148p-6|0x0p+0|0x1.07e3c870bfd4p-9|0x1.7c3163950ac01p-9|163|0|3|759|0|726|0|23|2",
+    "0x1p+0|0|122|112|112|6|0x1.61af25acbf1bep+5|0x1.92e29f79b4758p-5|0x1.444446c8d599ep+1|0x1.a3cd9788e5e2dp-5|0x1.54f84c460598ap-5|0x1.fbb8d75034633p-6|0x0p+0|0x1.27ec36be2c3d3p-9|0x1.ac49f87132d8ep-9|12|0|4|103|0|114|0|0|3",
+    "0x0p+0|1|122|113|113|8|0x1.341e9e643bebfp+5|0x1.0c9714fbcda3bp-4|0x1.778adfe494adbp+1|0x1.7afed7569b5bep-6|0x1.4266e7408a6cp-5|0x1.119ea8984b9b9p-3|0x1.852893167c6bcp-8|0x1.4c0238ced9ef2p-9|0x1.995c31ca08868p-8|2|1468|1|36|0|36|35|32|1",
+    "0x1p+0|1|120|106|106|12|0x1.4a91acabba8e5p+5|0x1.999999999999ap-4|0x1.485ae1c8c1a16p+1|0x1.58c37fc17f591p-5|0x1.47b53e6878397p-5|0x1.de74510d1c573p-4|0x1.a43afeb07d1afp-8|0x1.77674040a7fc3p-9|0x1.ca0fe5a9e62c3p-8|7|1451|2|203|0|203|0|196|1",
+    "0x0p+0|2|122|107|107|12|0x1.9ba69b08d7038p+5|0x1.92e29f79b4758p-4|0x1.0a2ad6e8a7023p+1|0x1.7f1f9a9d6f6ccp-7|0x1.1015ddbec4036p-5|0x1.a0d7e7a843d55p-3|0x1.803a0f0e0643dp-8|0x1.d78738b35f5a4p-11|0x1.5042b35cbaebbp-9|10|137|3|26|0|25|0|16|1",
+    "0x1p+0|2|123|119|119|2|0x1.408d0852e0103p+5|0x1.0a6810a6810a7p-6|0x1.7c25427e84775p+1|0x1.604095fc7d7d4p-7|0x1.05cc34573f361p-5|0x1.f7251c8a567dp-5|0x1.ead0fd7c9b9bp-9|0x1.c5d2ebc2bbcc9p-11|0x1.dc20f7ad4fa9cp-10|6|146|2|17|0|17|0|13|2",
+    "0x0p+0|3|123|113|113|9|0x1.11a2f339a3ae8p+5|0x1.2bb512bb512bbp-4|0x1.a6de163830521p+1|0x1.12a2e47e6f1edp-6|0x1.be874e3981bfbp-4|0x1.f690ba7d26025p-6|0x0p+0|0x1.87549772a7111p-11|0x1.33316dcc5fdefp-10|15|0|1|137|0|127|7|16|1",
+    "0x1p+0|3|120|61|61|36|0x1.90c20dfd8a5eep+4|0x1.3333333333333p-2|0x1.37bab0501c615p+1|0x1.ed8250a6319bdp-4|0x1.29fb3a76c318bp-2|0x1.91ff01fa80268p-4|0x0p+0|0x1.3546bba74774fp-11|0x1.111191eaaabccp-10|124|0|23|149|0|146|0|146|0",
+};
+
+void RunSweepC(int jobs) {
+  ChaosOptions opt;
+  opt.txns = 150;
+  std::vector<RunSpec> specs;
+  std::vector<std::pair<ProtocolKind, int>> ids;
+  for (ProtocolKind k : kAll) {
+    for (int s = 0; s < 2; ++s) {
+      specs.push_back({MakeChaosConfig(opt, k, s), k});
+      ids.push_back({k, s});
+    }
+  }
+  std::vector<MetricsSnapshot> ms =
+      RunAll(specs, jobs, /*check_serializability=*/true, {},
+             /*post_run_audit=*/true);
+  for (size_t i = 0; i < ms.size(); ++i) {
+    EXPECT_EQ(Fp(ms[i], ids[i].first, ids[i].second), kGoldenC[i])
+        << "point " << i;
+  }
+}
+
+TEST(StarIdentityTest, SweepCMatchesHistoricalStarSerial) { RunSweepC(1); }
+TEST(StarIdentityTest, SweepCMatchesHistoricalStarParallel) { RunSweepC(4); }
+
+}  // namespace
+}  // namespace lazyrep::core

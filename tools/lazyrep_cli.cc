@@ -39,6 +39,9 @@ void PrintHelp() {
       "  --txns=N                        transactions to submit\n"
       "  --read-fraction=F --write-fraction=F --ops=MIN,MAX\n"
       "  --latency=SEC --bandwidth=BPS   network\n"
+      "  --topology=star|geo[:KEY=VAL,..] network shape: flat star (default)\n"
+      "                                  or a geo hierarchy (keys: dc, metros,\n"
+      "                                  bb_bps, bb_lat, up_bps, up_lat)\n"
       "  --timeout=SEC --seed=N\n"
       "extensions\n"
       "  --replication-degree=K --gatekeeper=N --two-version\n"
@@ -52,6 +55,10 @@ void PrintHelp() {
       "  --partition=E1+E2+..@AT:DUR     scripted group partition: the listed\n"
       "                                  endpoints are cut off from the rest\n"
       "                                  during [AT, AT+DUR) (repeatable)\n"
+      "  --partition=dc0|dc1.m0@AT:DUR   same, but by named topology group:\n"
+      "                                  each name becomes its own island,\n"
+      "                                  remaining endpoints form the last\n"
+      "                                  (requires --topology=geo...)\n"
       "  --amnesia                       crashes wipe volatile state; sites\n"
       "                                  replay their WAL on recovery\n"
       "  --checkpoint-interval=SEC       fuzzy checkpoint period (amnesia)\n"
@@ -183,6 +190,12 @@ int main(int argc, char** argv) {
       config.network.latency = std::atof(v);
     } else if (FlagValue(a, "--bandwidth", &v)) {
       config.network.bandwidth_bps = std::atof(v);
+    } else if (FlagValue(a, "--topology", &v)) {
+      std::string err;
+      if (!config.topology.Parse(v, &err)) {
+        std::fprintf(stderr, "bad --topology: %s\n", err.c_str());
+        return 1;
+      }
     } else if (FlagValue(a, "--timeout", &v)) {
       config.timeout = std::atof(v);
       config.graph.wait_timeout = config.timeout;
@@ -219,21 +232,45 @@ int main(int argc, char** argv) {
       c.duration = dur;
       config.fault.crashes.push_back(c);
     } else if (FlagValue(a, "--partition", &v)) {
-      // E1+E2+..@AT:DUR — group members separated by '+', then the window.
+      // Two spellings, both ending in @AT:DUR. Legacy: endpoints separated
+      // by '+'. Named: topology group names separated by '|', each becoming
+      // its own island (validated against the topology in Normalize()).
       fault::ScheduledPartition part;
-      const char* s = v;
-      char* end = nullptr;
-      for (;;) {
-        long e = std::strtol(s, &end, 10);
-        if (end == s) break;
-        part.group.push_back(static_cast<int>(e));
-        s = end;
-        if (*s != '+') break;
-        ++s;
+      std::string spec(v);
+      size_t at_pos = spec.rfind('@');
+      bool ok =
+          at_pos != std::string::npos &&
+          std::sscanf(spec.c_str() + at_pos + 1, "%lf:%lf", &part.at,
+                      &part.duration) == 2;
+      if (ok) {
+        std::string members = spec.substr(0, at_pos);
+        if (members.find_first_not_of("0123456789+") == std::string::npos) {
+          size_t pos = 0;
+          while (ok && pos <= members.size()) {
+            size_t plus = members.find('+', pos);
+            if (plus == std::string::npos) plus = members.size();
+            std::string tok = members.substr(pos, plus - pos);
+            char* end = nullptr;
+            long e = std::strtol(tok.c_str(), &end, 10);
+            ok = !tok.empty() && *end == '\0';
+            if (ok) part.group.push_back(static_cast<int>(e));
+            pos = plus + 1;
+          }
+        } else {
+          size_t pos = 0;
+          while (ok && pos <= members.size()) {
+            size_t bar = members.find('|', pos);
+            if (bar == std::string::npos) bar = members.size();
+            std::string name = members.substr(pos, bar - pos);
+            ok = !name.empty();
+            if (ok) part.groups.push_back(std::move(name));
+            pos = bar + 1;
+          }
+        }
       }
-      if (part.group.empty() || *s != '@' ||
-          std::sscanf(s + 1, "%lf:%lf", &part.at, &part.duration) != 2) {
-        std::fprintf(stderr, "--partition wants E1+E2+..@AT:DUR\n");
+      if (!ok || (part.group.empty() && part.groups.empty())) {
+        std::fprintf(stderr,
+                     "--partition wants E1+E2+..@AT:DUR or NAME|NAME@AT:DUR\n");
         return 1;
       }
       config.fault.partitions.push_back(std::move(part));
@@ -259,11 +296,18 @@ int main(int argc, char** argv) {
       return 1;
     }
   }
-  config.Normalize();
-  if (std::string err; !config.fault.Validate(&err)) {
-    std::fprintf(stderr, "invalid fault parameters: %s\n", err.c_str());
-    return 1;
+  // Validate fault specs against the topology System will build (sites plus
+  // the auxiliary graph endpoint) for a friendly error instead of the
+  // hard-check inside Normalize().
+  {
+    net::Topology topo = config.BuildTopology();
+    topo.AddAuxEndpoint(net::AccessEdge(config.network));
+    if (std::string err; !config.fault.Validate(topo, &err)) {
+      std::fprintf(stderr, "invalid fault parameters: %s\n", err.c_str());
+      return 1;
+    }
   }
+  config.Normalize();
 
   std::vector<core::RunSpec> specs;
   specs.reserve(protocols.size());
