@@ -109,7 +109,7 @@ int RunChaos(const core::BenchOptions& opt, const ChaosCli& cli) {
   }
   std::vector<core::MetricsSnapshot> ms =
       core::RunAll(specs, opt.jobs, /*check_serializability=*/true, {},
-                   /*post_run_audit=*/true);
+                   /*post_run_audit=*/true, opt.trace);
 
   int violations = 0;
   for (size_t i = 0; i < specs.size(); ++i) {

@@ -66,6 +66,7 @@ int main(int argc, char** argv) {
   });
   oc3.set_protocols(opt.protocols);
   oc3.set_jobs(opt.jobs);
+  if (!opt.trace.empty()) oc3.set_trace_path(opt.trace + ".oc3");
   oc3.set_check_serializability(true);
   std::vector<double> load = {200, 600, 1000, 1400, 1800, 2200, 2600};
   std::vector<core::StudyPoint> p_oc3 = oc3.Sweep(opt.Thin(load));
@@ -80,6 +81,7 @@ int main(int argc, char** argv) {
   });
   oc1.set_protocols(opt.protocols);
   oc1.set_jobs(opt.jobs);
+  if (!opt.trace.empty()) oc1.set_trace_path(opt.trace + ".oc1");
   oc1.set_check_serializability(true);
   std::vector<double> wan_load = {200, 600, 1000, 1400, 1800, 2200};
   std::vector<core::StudyPoint> p_oc1 = oc1.Sweep(opt.Thin(wan_load));
@@ -96,6 +98,7 @@ int main(int argc, char** argv) {
   });
   mix.set_protocols(opt.protocols);
   mix.set_jobs(opt.jobs);
+  if (!opt.trace.empty()) mix.set_trace_path(opt.trace + ".mix");
   mix.set_check_serializability(true);
   std::vector<double> fractions = {0.05, 0.1, 0.2, 0.3, 0.5};
   std::vector<core::StudyPoint> p_mix = mix.Sweep(opt.Thin(fractions));

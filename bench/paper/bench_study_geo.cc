@@ -102,6 +102,7 @@ int main(int argc, char** argv) {
   });
   runner.set_protocols(opt.protocols);
   runner.set_jobs(opt.jobs);
+  if (!opt.trace.empty()) runner.set_trace_path(opt.trace);
   runner.set_check_serializability(true);
   std::vector<double> bb_lat = {0.005, 0.02, 0.05, 0.1};
   std::vector<core::StudyPoint> points = runner.Sweep(opt.Thin(bb_lat));
@@ -133,8 +134,10 @@ int main(int argc, char** argv) {
     c.Normalize();
     specs.push_back({c, kind});
   }
-  std::vector<core::MetricsSnapshot> part_snaps =
-      core::RunAll(specs, opt.jobs, /*check_serializability=*/true);
+  std::vector<core::MetricsSnapshot> part_snaps = core::RunAll(
+      specs, opt.jobs, /*check_serializability=*/true, {},
+      /*post_run_audit=*/false,
+      opt.trace.empty() ? std::string() : opt.trace + ".partition");
 
   std::printf("\nFigure 4: Datacenter partition (dc0 isolated for [%.1f, %.1f) s), geo study\n",
               run_secs / 3, 2 * run_secs / 3);

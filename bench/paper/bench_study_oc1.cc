@@ -23,6 +23,7 @@ int main(int argc, char** argv) {
   });
   runner.set_protocols(opt.protocols);
   runner.set_jobs(opt.jobs);
+  if (!opt.trace.empty()) runner.set_trace_path(opt.trace);
 
   std::vector<double> tps = {200, 600, 1000, 1400, 1600, 2000, 2400};
   std::printf("OC-1 study (Table 1, §4.2) — %llu transactions per point\n",

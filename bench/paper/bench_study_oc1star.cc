@@ -24,6 +24,7 @@ int main(int argc, char** argv) {
   });
   runner.set_protocols(opt.protocols);
   runner.set_jobs(opt.jobs);
+  if (!opt.trace.empty()) runner.set_trace_path(opt.trace);
 
   std::vector<double> tps = {100, 200, 400, 800, 1400, 2000, 2400};
   std::printf("OC-1* study (Table 1, §4.3) — %llu transactions per point\n",

@@ -25,6 +25,7 @@ int main(int argc, char** argv) {
   });
   runner.set_protocols(opt.protocols);
   runner.set_jobs(opt.jobs);
+  if (!opt.trace.empty()) runner.set_trace_path(opt.trace);
 
   std::vector<double> tps = {200,  600,  1000, 1400, 1800,
                              2200, 2400, 2600};

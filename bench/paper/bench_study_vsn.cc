@@ -23,6 +23,7 @@ int main(int argc, char** argv) {
   });
   runner.set_protocols(opt.protocols);
   runner.set_jobs(opt.jobs);
+  if (!opt.trace.empty()) runner.set_trace_path(opt.trace);
 
   std::vector<double> sites = {2, 10, 20, 40, 60, 80, 100, 120, 140};
   std::printf("vsN study (Table 1, §4.4) — %llu transactions per point, "

@@ -28,6 +28,7 @@ int main(int argc, char** argv) {
   });
   runner.set_protocols(opt.protocols);
   runner.set_jobs(opt.jobs);
+  if (!opt.trace.empty()) runner.set_trace_path(opt.trace);
 
   std::vector<double> sites = {4, 10, 20, 40, 60, 80, 100};
   std::printf("vsN fixed-TPS/|DB| variant (§4.4) — TPS=%.0f, |DB|=%d, "

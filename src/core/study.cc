@@ -10,9 +10,41 @@
 #include "core/history.h"
 #include "core/parallel.h"
 #include "core/system.h"
+#include "net/topology.h"
+#include "sim/check.h"
 #include "sim/random.h"
+#include "trace/trace_sink.h"
 
 namespace lazyrep::core {
+
+namespace {
+
+/// Datacenter ordinal of every site for the trace block's site map: the
+/// depth-1 topology group (the "dc<i>" tier of geo topologies), densified
+/// in site order. A flat star has no depth-1 groups — every site maps to
+/// datacenter 0.
+trace::PointMeta MakePointMeta(const RunSpec& spec, size_t index) {
+  trace::PointMeta meta;
+  meta.point_index = static_cast<uint32_t>(index);
+  meta.protocol = static_cast<uint32_t>(spec.protocol);
+  meta.x = spec.x;
+  meta.seed = spec.config.seed;
+  net::Topology topo = spec.config.BuildTopology();
+  std::vector<int> ordinal_of_group;
+  meta.dc_of_site.reserve(spec.config.num_sites);
+  for (int s = 0; s < spec.config.num_sites; ++s) {
+    int g = topo.AncestorAt(static_cast<db::SiteId>(s), 1);
+    size_t i = 0;
+    for (; i < ordinal_of_group.size(); ++i) {
+      if (ordinal_of_group[i] == g) break;
+    }
+    if (i == ordinal_of_group.size()) ordinal_of_group.push_back(g);
+    meta.dc_of_site.push_back(static_cast<uint16_t>(i));
+  }
+  return meta;
+}
+
+}  // namespace
 
 uint64_t DerivePointSeed(const std::string& study_name, ProtocolKind protocol,
                          double x, uint64_t base_seed) {
@@ -29,14 +61,29 @@ uint64_t DerivePointSeed(const std::string& study_name, ProtocolKind protocol,
 std::vector<MetricsSnapshot> RunAll(
     const std::vector<RunSpec>& specs, int jobs, bool check_serializability,
     const std::function<void(size_t, const MetricsSnapshot&)>& on_done,
-    bool post_run_audit) {
+    bool post_run_audit, const std::string& trace_path) {
   std::vector<MetricsSnapshot> snaps(specs.size());
+  const bool tracing = !trace_path.empty();
+  std::vector<std::string> shards(tracing ? specs.size() : 0);
   std::mutex done_mu;
   ParallelFor(jobs, specs.size(), [&](size_t i) {
     System system(specs[i].config, specs[i].protocol);
     HistoryRecorder history;
     if (check_serializability) system.set_history(&history);
+    std::unique_ptr<trace::TraceSink> sink;
+    if (tracing) {
+      shards[i] = trace::ShardPath(trace_path, i);
+      std::string err;
+      sink = trace::TraceSink::Open(shards[i], MakePointMeta(specs[i], i),
+                                    &err);
+      LAZYREP_CHECK_MSG(sink != nullptr, err.c_str());
+      system.set_trace(sink.get());
+    }
     MetricsSnapshot snap = system.Run();
+    if (sink != nullptr) {
+      std::string err;
+      LAZYREP_CHECK_MSG(sink->Finish(&err), err.c_str());
+    }
     if (check_serializability) {
       std::string why;
       snap.serializable = history.CheckOneCopySerializable(&why) ? 1 : 0;
@@ -59,6 +106,11 @@ std::vector<MetricsSnapshot> RunAll(
     }
     snaps[i] = std::move(snap);
   });
+  if (tracing) {
+    std::string err;
+    LAZYREP_CHECK_MSG(trace::MergeShards(trace_path, shards, &err),
+                      err.c_str());
+  }
   return snaps;
 }
 
@@ -159,6 +211,7 @@ std::vector<StudyPoint> StudyRunner::Sweep(const std::vector<double>& xs,
       spec.config = make_config_(x);
       spec.config.seed = DerivePointSeed(name_, kind, x, spec.config.seed);
       spec.protocol = kind;
+      spec.x = x;
       specs.push_back(std::move(spec));
     }
   }
@@ -173,7 +226,8 @@ std::vector<StudyPoint> StudyRunner::Sweep(const std::vector<double>& xs,
     };
   }
   std::vector<MetricsSnapshot> snaps =
-      RunAll(specs, jobs_, check_serializability_, report);
+      RunAll(specs, jobs_, check_serializability_, report,
+             /*post_run_audit=*/false, trace_path_);
   for (size_t i = 0; i < points.size(); ++i) {
     points[i].snap = std::move(snaps[i]);
   }
@@ -248,6 +302,8 @@ BenchOptions BenchOptions::Parse(int argc, char** argv) {
       opt.jobs = std::atoi(a + 7);
     } else if (std::strcmp(a, "--quick") == 0) {
       opt.quick = true;
+    } else if (std::strncmp(a, "--trace=", 8) == 0) {
+      opt.trace = a + 8;
     } else if (std::strncmp(a, "--protocols=", 12) == 0) {
       opt.protocols.clear();
       opt.protocols_set = true;
@@ -265,7 +321,7 @@ BenchOptions BenchOptions::Parse(int argc, char** argv) {
     } else if (std::strcmp(a, "--help") == 0) {
       std::printf(
           "options: --txns=N --points=N --figure=N --seed=N --jobs=N "
-          "--quick --protocols=[lpoe]\n");
+          "--quick --protocols=[lpoe] --trace=FILE\n");
       std::exit(0);
     }
   }

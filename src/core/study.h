@@ -30,6 +30,9 @@ uint64_t DerivePointSeed(const std::string& study_name, ProtocolKind protocol,
 struct RunSpec {
   SystemConfig config;
   ProtocolKind protocol = ProtocolKind::kOptimistic;
+  /// The swept parameter, recorded in the point's trace block header for
+  /// offline labeling (no effect on the run itself).
+  double x = 0;
 };
 
 /// Runs every spec (each an independent, self-contained System) across
@@ -43,11 +46,17 @@ struct RunSpec {
 /// convergence_why) are filled after the run's drain: with faults healed
 /// and propagation quiesced, every replica must hold the same version and
 /// no transaction may be stranded mid-coordination.
+///
+/// With a non-empty `trace_path`, every run records its per-transaction
+/// event trace (DESIGN.md §4.8): each worker writes its point to a private
+/// shard file which are merged — in spec order, shards deleted — into
+/// `trace_path` once all runs finish, so the bytes are identical at any
+/// `jobs` level. I/O failure while tracing is fatal (LAZYREP_CHECK).
 std::vector<MetricsSnapshot> RunAll(
     const std::vector<RunSpec>& specs, int jobs,
     bool check_serializability = false,
     const std::function<void(size_t, const MetricsSnapshot&)>& on_done = {},
-    bool post_run_audit = false);
+    bool post_run_audit = false, const std::string& trace_path = {});
 
 /// Runs a parameter sweep for each protocol and collects the paper's
 /// metrics. The benches use one StudyRunner per study (OC-3, OC-1, OC-1*,
@@ -73,6 +82,11 @@ class StudyRunner {
   /// MetricsSnapshot (serializable / history_committed / history_reads).
   void set_check_serializability(bool on) { check_serializability_ = on; }
 
+  /// Per-transaction event tracing: every point of the sweep records its
+  /// trace, merged into one file at `path` in canonical point order
+  /// (lazyrep_trace reads it back). Empty = off, the default.
+  void set_trace_path(std::string path) { trace_path_ = std::move(path); }
+
   /// Runs every (protocol, x) combination. When `verbose`, prints one
   /// progress line per point to stderr (mutex-guarded; under --jobs > 1 the
   /// lines appear in completion order). The returned points are always in
@@ -89,6 +103,7 @@ class StudyRunner {
   std::vector<ProtocolKind> protocols_;
   int jobs_ = 0;
   bool check_serializability_ = false;
+  std::string trace_path_;
 };
 
 /// Chaos-audit knobs (bench_chaos). Every schedule is one small fleet put
@@ -142,6 +157,9 @@ struct BenchOptions {
   /// True when --protocols= was given explicitly; benches with a different
   /// default set (the four-way eager studies) only apply theirs when false.
   bool protocols_set = false;
+  /// --trace=FILE: record per-transaction event traces of every point into
+  /// FILE (empty = tracing off).
+  std::string trace;
 
   static BenchOptions Parse(int argc, char** argv);
   /// Thins `xs` to at most max_points (keeping endpoints) and applies quick.

@@ -156,10 +156,22 @@ void System::NoteCommitted(txn::Transaction* t,
   t->commit_time =
       response_reference >= 0 ? response_reference : sim_.Now();
   metrics_.OnCommit(*t);
+  sim::SimTime response_used = t->commit_time;
   t->commit_time = sim_.Now();  // commit->complete measures from the real
                                 // commit instant
   if (history_ != nullptr) {
     history_->RecordCommit(t->id, t->ts, t->write_set);
+  }
+  if (trace_ != nullptr) {
+    // The response-reference instant rides along bit-cast so the analyzer
+    // reproduces the exact response-time samples Metrics took; the TWR
+    // timestamp's time goes in aux_time (ts.txn always equals t->id).
+    TraceEvent(trace::EventType::kCommit, *t, t->origin, 0,
+               trace::BitsFromDouble(response_used), t->ts.time);
+    for (db::ItemId item : t->write_set) {
+      TraceEvent(trace::EventType::kCommitItem, *t, t->origin, item, 0,
+                 t->ts.time);
+    }
   }
 }
 
@@ -171,9 +183,18 @@ void System::NoteAborted(txn::Transaction* t, txn::AbortCause cause) {
   t->terminal_time = sim_.Now();
   ++terminal_;
   metrics_.OnAbort(*t);
+  TraceEvent(trace::EventType::kAbort, *t, t->origin, 0,
+             static_cast<uint64_t>(cause));
   tracker_.OnAborted(t->id);
   site(t->origin).store.RemoveReader(t->id, t->read_set);
   GateRelease(*t);
+}
+
+void System::set_trace(trace::TraceSink* sink) {
+  trace_ = sink;
+  for (auto& s : sites_) {
+    s->locks.set_trace(sink, static_cast<uint16_t>(s->id));
+  }
 }
 
 sim::OneShot* System::CompletionShotFor(db::TxnId id) {
@@ -190,6 +211,7 @@ void System::OnTrackerCompleted(db::TxnId id) {
   t->terminal_time = sim_.Now();
   ++terminal_;
   metrics_.OnComplete(*t);
+  TraceEvent(trace::EventType::kComplete, *t, t->origin);
   site(t->origin).store.RemoveReader(t->id, t->read_set);
   protocol_->OnCompleted(t);
   auto it = completion_shots_.find(id);
@@ -560,6 +582,7 @@ void System::Submit(db::SiteId s, sim::RandomStream* rng) {
   tracker_.Register(id, s);
   protocol_->OnRegister(ptr);
   metrics_.OnSubmit(*ptr);
+  TraceEvent(trace::EventType::kSubmit, *ptr, s, 0, ptr->ops.size());
 
   if (injector_ && !injector_->IsUp(s)) {
     // The origination site is down: the client's request never reaches a
@@ -709,6 +732,10 @@ MetricsSnapshot System::Run() {
   }
   MetricsSnapshot snap = metrics_.snapshot();
   Freeze(&snap);
+  // Records emitted from here on (the drain) belong to the execution
+  // history but to no MetricsSnapshot counter; mark them so the offline
+  // analyzer replicates the freeze-at-last-submission accounting.
+  if (trace_ != nullptr) trace_->set_frozen(true);
   // Cease fault activity before draining: pending retransmissions must be
   // able to land so every waiter resolves before the System is torn down.
   if (injector_) injector_->Stop();

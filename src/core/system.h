@@ -26,6 +26,7 @@
 #include "sim/process.h"
 #include "sim/random.h"
 #include "sim/simulation.h"
+#include "trace/trace_sink.h"
 #include "txn/transaction.h"
 #include "txn/workload.h"
 
@@ -272,6 +273,38 @@ class System {
   void set_history(HistoryRecorder* history) { history_ = history; }
   HistoryRecorder* history() { return history_; }
 
+  // -- event tracing (all no-ops until set_trace; see DESIGN.md §4.8) ---------
+
+  /// Attaches a trace sink and propagates it to every site's lock manager.
+  /// Null (the default) keeps the run byte-identical to an untraced one:
+  /// every emission site guards on the pointer and touches nothing else.
+  void set_trace(trace::TraceSink* sink);
+  trace::TraceSink* trace() { return trace_; }
+
+  /// Record.flags of a lifecycle event of `t` (the sink ORs in kFlagFrozen
+  /// by itself once the measurement window is frozen).
+  static uint8_t TraceFlags(const txn::Transaction& t) {
+    return (t.measured ? trace::kFlagMeasured : 0) |
+           (t.is_update ? trace::kFlagUpdate : 0);
+  }
+
+  /// Emits one lifecycle record for `t` at `site`; no-op when not tracing.
+  void TraceEvent(trace::EventType type, const txn::Transaction& t,
+                  db::SiteId site, db::ItemId item = 0, uint64_t aux = 0,
+                  double aux_time = 0) {
+    if (trace_ == nullptr) return;
+    trace_->Emit(type, sim_.Now(), t.id, site, TraceFlags(t), item, aux,
+                 aux_time);
+  }
+
+  /// Emits the version-read record the protocols pair with
+  /// HistoryRecorder::RecordRead (the offline MVSG audit's wr/rw input).
+  void TraceRead(const txn::Transaction& t, db::ItemId item,
+                 db::Timestamp version) {
+    TraceEvent(trace::EventType::kRead, t, t.origin, item, version.txn,
+               version.time);
+  }
+
   const char* protocol_name() const;
 
  private:
@@ -330,6 +363,7 @@ class System {
   std::unordered_map<db::TxnId, std::unique_ptr<sim::OneShot>>
       completion_shots_;
   HistoryRecorder* history_ = nullptr;
+  trace::TraceSink* trace_ = nullptr;
 
   // Read-only gatekeeper (§4.3 extension): per-site running count + queue.
   std::vector<int> gate_running_;

@@ -81,6 +81,7 @@ sim::Task<sim::WaitStatus> LockManager::Acquire(TxnId txn, ItemId item,
     holds_any = true;
     if (LockStrength(held_mode) >= LockStrength(mode)) {
       ++grants_;
+      TraceResolution(txn, item, mode, sim::WaitStatus::kSignaled, 0);
       co_return sim::WaitStatus::kSignaled;
     }
   }
@@ -93,6 +94,7 @@ sim::Task<sim::WaitStatus> LockManager::Acquire(TxnId txn, ItemId item,
     AddHolder(&lock, txn, mode);
     if (!holds_any) held_[txn].push_back(item);
     ++grants_;
+    TraceResolution(txn, item, mode, sim::WaitStatus::kSignaled, 0);
     co_return sim::WaitStatus::kSignaled;
   }
 
@@ -120,11 +122,13 @@ sim::Task<sim::WaitStatus> LockManager::Acquire(TxnId txn, ItemId item,
     lk.queue.Remove(&waiter);
     PumpQueue(item, &lk);
     MaybeErase(item);
+    TraceResolution(txn, item, mode, status, sim_->Now() - wait_start);
     co_return status;
   }
 
   // Granted by PumpQueue (which installed us as a holder).
   ++grants_;
+  TraceResolution(txn, item, mode, status, sim_->Now() - wait_start);
   co_return sim::WaitStatus::kSignaled;
 }
 

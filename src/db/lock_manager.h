@@ -11,6 +11,7 @@
 #include "sim/process.h"
 #include "sim/simulation.h"
 #include "sim/stats.h"
+#include "trace/trace_sink.h"
 
 namespace lazyrep::db {
 
@@ -95,6 +96,13 @@ class LockManager {
   const sim::TallyStat& wait_time() const { return wait_time_; }
   void ResetStats();
 
+  /// Trace hook: every Acquire resolution emits a kLockGrant/kLockDeny
+  /// record at `site` (null sink = no tracing, the default).
+  void set_trace(trace::TraceSink* sink, uint16_t site) {
+    trace_ = sink;
+    trace_site_ = site;
+  }
+
  private:
   /// A waiting lock request. Lives on the Acquire coroutine's frame; the
   /// wait queue links through it intrusively, so queuing a request performs
@@ -140,7 +148,21 @@ class LockManager {
   /// Drops the lock entry if empty.
   void MaybeErase(ItemId item);
 
+  /// Emits the Acquire resolution when tracing is on. `wait` is the time
+  /// spent queued (0 for immediate grants); a deny carries the WaitStatus.
+  void TraceResolution(TxnId txn, ItemId item, LockMode mode,
+                       sim::WaitStatus status, sim::SimTime wait) {
+    if (trace_ == nullptr) return;
+    trace_->Emit(status == sim::WaitStatus::kSignaled
+                     ? trace::EventType::kLockGrant
+                     : trace::EventType::kLockDeny,
+                 sim_->Now(), txn, trace_site_, static_cast<uint8_t>(mode),
+                 item, static_cast<uint64_t>(status), wait);
+  }
+
   sim::Simulation* sim_;
+  trace::TraceSink* trace_ = nullptr;
+  uint16_t trace_site_ = 0;
   std::unordered_map<ItemId, ItemLock> locks_;
   std::unordered_map<TxnId, std::vector<ItemId>> held_;
   uint64_t grants_ = 0;

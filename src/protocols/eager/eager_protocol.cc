@@ -179,6 +179,7 @@ sim::Process EagerProtocol::Participant(txn::Transaction* t, db::SiteId dst,
   // Vote YES. From here the participant is in doubt: it no longer has the
   // right to abort unilaterally and blocks holding its X locks.
   sim::SimTime vote_at = sys_->sim().Now();
+  sys_->TraceEvent(trace::EventType::kVote, *t, dst, 0, 1);
   if (via_multicast) {
     co_await sys_->SendCtrl(dst, t->origin);
     pc->votes.Arrive();
@@ -338,6 +339,7 @@ sim::Process EagerProtocol::Execute(txn::Transaction* t) {
       if (sys_->history() != nullptr) {
         sys_->history()->RecordRead(t->id, op.item, version);
       }
+      sys_->TraceRead(*t, op.item, version);
       if (version.txn != db::kNoTxn) {
         st->edges.emplace_back(t->id, version.txn);  // wr: writer precedes us
       }
@@ -386,6 +388,8 @@ sim::Process EagerProtocol::Execute(txn::Transaction* t) {
   // -- 2PC: PREPARE / VOTE ---------------------------------------------------
   auto pc = std::make_shared<TwoPC>(&sys_->sim(), std::move(targets));
   sys_->metrics().OnEagerPrepare(t->measured);
+  sys_->TraceEvent(trace::EventType::kPrepare, *t, t->origin, 0,
+                   pc->targets.size());
   size_t bytes =
       cfg.propagation_overhead_bytes + t->write_set.size() * cfg.item_bytes;
   if (sys_->fault_enabled()) {

@@ -43,6 +43,8 @@ sim::Process LockingProtocol::FetchLock(txn::Transaction* t, int index,
       }
     } else {
       // Relay the read-lock request to the primary site (§2.2).
+      sys_->TraceEvent(trace::EventType::kRemoteRead, *t, primary, op.item,
+                       origin);
       if (!co_await sys_->SendCtrlReliable(origin, primary)) {
         st->fail_cause = txn::AbortCause::kUnavailable;
         status = WaitStatus::kCancelled;
@@ -251,6 +253,7 @@ sim::Process LockingProtocol::Execute(txn::Transaction* t) {
       if (sys_->history() != nullptr) {
         sys_->history()->RecordRead(t->id, op.item, version);
       }
+      sys_->TraceRead(*t, op.item, version);
       if (lock_free_reads) {
         read_versions.emplace_back(op.item, version);
       } else if (version.txn != db::kNoTxn) {

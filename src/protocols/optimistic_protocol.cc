@@ -134,6 +134,7 @@ sim::Process OptimisticProtocol::Execute(txn::Transaction* t) {
       if (sys_->history() != nullptr) {
         sys_->history()->RecordRead(t->id, op.item, version);
       }
+      sys_->TraceRead(*t, op.item, version);
       if (version.txn != db::kNoTxn) {
         edges.emplace_back(t->id, version.txn);
       }
@@ -166,6 +167,8 @@ sim::Process OptimisticProtocol::Execute(txn::Transaction* t) {
       v = rg::Verdict::kUnavailable;  // verdict reply lost: must abort
     }
   }
+  sys_->TraceEvent(trace::EventType::kGraphTest, *t, sys_->graph_endpoint(),
+                   0, static_cast<uint64_t>(v));
 
   if (v != rg::Verdict::kOk) {
     origin.locks.ReleaseAll(t->id);

@@ -24,6 +24,9 @@ sim::Process PessimisticProtocol::OpTester(txn::Transaction* t, int index,
                                            StatePtr st) {
   if (!co_await sys_->SendCtrlReliable(t->origin, sys_->graph_endpoint())) {
     st->verdicts[index] = rg::Verdict::kUnavailable;
+    sys_->TraceEvent(trace::EventType::kGraphTest, *t, sys_->graph_endpoint(),
+                     t->ops[index].item,
+                     static_cast<uint64_t>(rg::Verdict::kUnavailable));
     st->slots[index]->Fire(WaitStatus::kCancelled);
     co_return;
   }
@@ -32,6 +35,8 @@ sim::Process PessimisticProtocol::OpTester(txn::Transaction* t, int index,
   if (!co_await sys_->SendCtrlReliable(sys_->graph_endpoint(), t->origin)) {
     v = rg::Verdict::kUnavailable;  // verdict reply never reached the origin
   }
+  sys_->TraceEvent(trace::EventType::kGraphTest, *t, sys_->graph_endpoint(),
+                   t->ops[index].item, static_cast<uint64_t>(v));
   st->verdicts[index] = v;
   st->slots[index]->Fire(v == rg::Verdict::kOk ? WaitStatus::kSignaled
                                                : WaitStatus::kCancelled);
@@ -199,6 +204,7 @@ sim::Process PessimisticProtocol::Execute(txn::Transaction* t) {
       if (sys_->history() != nullptr) {
         sys_->history()->RecordRead(t->id, op.item, version);
       }
+      sys_->TraceRead(*t, op.item, version);
       if (version.txn != db::kNoTxn) {
         st->edges.emplace_back(t->id, version.txn);
       }

@@ -1,0 +1,265 @@
+#include "trace/trace_analysis.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <unordered_map>
+
+namespace lazyrep::trace {
+
+namespace {
+
+/// Timestamp as captured in the trace: (time, txn), ordered like
+/// db::Timestamp. kCommit/kCommitItem carry time in aux_time and the txn in
+/// the record's txn field (TWR stamps ts.txn = id); kRead carries the read
+/// version's writer in aux and its time in aux_time.
+struct Ts {
+  double time = 0;
+  uint64_t txn = 0;
+  bool operator<(const Ts& o) const {
+    if (time != o.time) return time < o.time;
+    return txn < o.txn;
+  }
+  bool operator>(const Ts& o) const { return o < *this; }
+};
+
+bool CountedByMetrics(const Record& r) {
+  return (r.flags & kFlagMeasured) != 0 && (r.flags & kFlagFrozen) == 0;
+}
+
+}  // namespace
+
+const char* AbortCauseLabel(size_t cause) {
+  // Keep in sync with txn::AbortCause; trace_audit_test pins the mapping.
+  static const char* const kLabels[kAbortCauseSlots] = {
+      "none",       "lock_timeout", "graph_abort", "graph_rejected",
+      "stale_write", "torn_read",   "unavailable", "site_failure"};
+  return cause < kAbortCauseSlots ? kLabels[cause] : "unknown";
+}
+
+Percentiles ComputePercentiles(std::vector<double>* samples) {
+  Percentiles p;
+  p.count = samples->size();
+  if (samples->empty()) return p;
+  std::sort(samples->begin(), samples->end());
+  double sum = 0;
+  for (double s : *samples) sum += s;
+  p.mean = sum / static_cast<double>(samples->size());
+  auto rank = [&](double q) {
+    // Nearest-rank: the ceil(q*N)-th smallest sample, 1-indexed.
+    size_t r = static_cast<size_t>(
+        std::ceil(q * static_cast<double>(samples->size())));
+    if (r == 0) r = 1;
+    return (*samples)[r - 1];
+  };
+  p.p50 = rank(0.50);
+  p.p95 = rank(0.95);
+  p.p99 = rank(0.99);
+  p.max = samples->back();
+  return p;
+}
+
+bool CheckTraceSerializable(const PointTrace& pt, std::string* why) {
+  // Rebuild the MVSG from raw records. This mirrors the *semantics* of
+  // core::HistoryRecorder (wr, ww, rw edges over committed transactions)
+  // but shares no code with it: dense node indexing plus Kahn's algorithm
+  // instead of txn-id hash maps plus a three-color DFS.
+  std::unordered_map<uint64_t, Ts> committed;
+  std::unordered_map<uint32_t, std::vector<Ts>> writers;
+  for (const Record& r : pt.records) {
+    switch (static_cast<EventType>(r.type)) {
+      case EventType::kCommit:
+        committed[r.txn] = Ts{r.aux_time, r.txn};
+        break;
+      case EventType::kCommitItem:
+        writers[r.item].push_back(Ts{r.aux_time, r.txn});
+        break;
+      default:
+        break;
+    }
+  }
+
+  // Dense node table: committed transactions plus any writer a read cites.
+  std::unordered_map<uint64_t, size_t> index;
+  std::vector<uint64_t> node_txn;
+  auto node = [&](uint64_t txn) {
+    auto [it, inserted] = index.try_emplace(txn, node_txn.size());
+    if (inserted) node_txn.push_back(txn);
+    return it->second;
+  };
+  for (const auto& [txn, ts] : committed) node(txn);
+
+  std::vector<std::pair<size_t, size_t>> edges;
+  auto add_edge = [&](uint64_t from, uint64_t to) {
+    if (from == to) return;
+    edges.emplace_back(node(from), node(to));
+  };
+
+  // ww: per-item writers in timestamp order, consecutive pairs.
+  for (auto& [item, tss] : writers) {
+    std::sort(tss.begin(), tss.end());
+    for (size_t i = 1; i < tss.size(); ++i) {
+      add_edge(tss[i - 1].txn, tss[i].txn);
+    }
+  }
+
+  // wr and rw from the read records.
+  for (const Record& r : pt.records) {
+    if (static_cast<EventType>(r.type) != EventType::kRead) continue;
+    if (!committed.contains(r.txn)) continue;  // aborted reader: no edges
+    Ts version{r.aux_time, r.aux};
+    if (version.txn != 0) add_edge(version.txn, r.txn);  // wr
+    auto wit = writers.find(r.item);
+    if (wit == writers.end()) continue;
+    for (const Ts& w : wit->second) {
+      if (w > version) add_edge(r.txn, w.txn);  // rw
+    }
+  }
+
+  // Kahn's algorithm: the graph is acyclic iff every node drains.
+  size_t n = node_txn.size();
+  std::vector<size_t> head(n, SIZE_MAX), next(edges.size()), indegree(n, 0);
+  for (size_t e = 0; e < edges.size(); ++e) {
+    next[e] = head[edges[e].first];
+    head[edges[e].first] = e;
+    ++indegree[edges[e].second];
+  }
+  std::vector<size_t> queue;
+  queue.reserve(n);
+  for (size_t v = 0; v < n; ++v) {
+    if (indegree[v] == 0) queue.push_back(v);
+  }
+  size_t drained = 0;
+  while (drained < queue.size()) {
+    size_t v = queue[drained++];
+    for (size_t e = head[v]; e != SIZE_MAX; e = next[e]) {
+      if (--indegree[edges[e].second] == 0) {
+        queue.push_back(edges[e].second);
+      }
+    }
+  }
+  if (drained == n) return true;
+  if (why != nullptr) {
+    *why = "MVSG cycle among txns:";
+    int listed = 0;
+    for (size_t v = 0; v < n && listed < 8; ++v) {
+      if (indegree[v] == 0) continue;
+      char buf[32];
+      std::snprintf(buf, sizeof(buf), " %llu",
+                    static_cast<unsigned long long>(node_txn[v]));
+      *why += buf;
+      ++listed;
+    }
+  }
+  return false;
+}
+
+PointAnalysis AnalyzePoint(const PointTrace& pt, int timeline_buckets) {
+  PointAnalysis a;
+  uint32_t num_sites = pt.header.num_sites;
+  a.by_site.resize(num_sites);
+  a.by_dc.resize(std::max<uint32_t>(pt.header.dc_count, num_sites ? 1 : 0));
+
+  struct TxnTimes {
+    double submit = 0;
+    double commit = 0;  ///< real commit instant (kCommit record time)
+  };
+  std::unordered_map<uint64_t, TxnTimes> times;
+  std::vector<double> ro_response, upd_response, c2c, lock_wait;
+  std::vector<double> abort_times;
+  std::vector<uint8_t> abort_causes;
+  double t_min = 0, t_max = 0;
+  bool any = false;
+
+  auto group = [&](uint16_t site) -> GroupStats* {
+    return site < num_sites ? &a.by_site[site] : nullptr;
+  };
+  auto dc_group = [&](uint16_t site) -> GroupStats* {
+    if (site >= pt.dc_of_site.size()) return nullptr;
+    uint16_t dc = pt.dc_of_site[site];
+    return dc < a.by_dc.size() ? &a.by_dc[dc] : nullptr;
+  };
+
+  for (const Record& r : pt.records) {
+    if (!any || r.time < t_min) t_min = r.time;
+    if (!any || r.time > t_max) t_max = r.time;
+    any = true;
+    switch (static_cast<EventType>(r.type)) {
+      case EventType::kSubmit:
+        times[r.txn].submit = r.time;
+        if (CountedByMetrics(r)) {
+          ++a.submitted;
+          if (auto* g = group(r.site)) ++g->submitted;
+          if (auto* g = dc_group(r.site)) ++g->submitted;
+        }
+        break;
+      case EventType::kRead:
+        ++a.history_reads;
+        break;
+      case EventType::kLockGrant:
+        if (r.aux_time > 0) lock_wait.push_back(r.aux_time);
+        break;
+      case EventType::kCommit: {
+        ++a.history_committed;
+        times[r.txn].commit = r.time;
+        if (!CountedByMetrics(r)) break;
+        ++a.committed;
+        double response = DoubleFromBits(r.aux) - times[r.txn].submit;
+        ((r.flags & kFlagUpdate) ? upd_response : ro_response)
+            .push_back(response);
+        if (auto* g = group(r.site)) {
+          ++g->committed;
+          g->response_sum += response;
+        }
+        if (auto* g = dc_group(r.site)) {
+          ++g->committed;
+          g->response_sum += response;
+        }
+        break;
+      }
+      case EventType::kAbort:
+        abort_times.push_back(r.time);
+        abort_causes.push_back(
+            r.aux < kAbortCauseSlots ? static_cast<uint8_t>(r.aux) : 0);
+        if (!CountedByMetrics(r)) break;
+        ++a.aborted;
+        if (r.aux < kAbortCauseSlots) ++a.aborted_by_cause[r.aux];
+        if (auto* g = group(r.site)) ++g->aborted;
+        if (auto* g = dc_group(r.site)) ++g->aborted;
+        break;
+      case EventType::kComplete:
+        if (!CountedByMetrics(r)) break;
+        ++a.completed;
+        if ((r.flags & kFlagUpdate) != 0) {
+          c2c.push_back(r.time - times[r.txn].commit);
+        }
+        break;
+      default:
+        break;
+    }
+  }
+
+  a.read_only_response = ComputePercentiles(&ro_response);
+  a.update_response = ComputePercentiles(&upd_response);
+  a.commit_to_complete = ComputePercentiles(&c2c);
+  a.lock_wait = ComputePercentiles(&lock_wait);
+  a.serializable = CheckTraceSerializable(pt, &a.serializability_why) ? 1 : 0;
+
+  if (timeline_buckets > 0 && any && t_max > t_min) {
+    a.abort_timeline.resize(timeline_buckets);
+    double width = (t_max - t_min) / timeline_buckets;
+    for (int b = 0; b < timeline_buckets; ++b) {
+      a.abort_timeline[b].t0 = t_min + b * width;
+      a.abort_timeline[b].t1 = t_min + (b + 1) * width;
+    }
+    for (size_t i = 0; i < abort_times.size(); ++i) {
+      int b = static_cast<int>((abort_times[i] - t_min) / width);
+      if (b >= timeline_buckets) b = timeline_buckets - 1;
+      if (b < 0) b = 0;
+      ++a.abort_timeline[b].by_cause[abort_causes[i]];
+    }
+  }
+  return a;
+}
+
+}  // namespace lazyrep::trace

@@ -1,0 +1,96 @@
+#ifndef LAZYREP_TRACE_TRACE_ANALYSIS_H_
+#define LAZYREP_TRACE_TRACE_ANALYSIS_H_
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "trace/trace_reader.h"
+
+namespace lazyrep::trace {
+
+/// Abort causes an analyzed trace distinguishes. Mirrors txn::AbortCause;
+/// the differential test pins the two tables against each other.
+inline constexpr size_t kAbortCauseSlots = 8;
+const char* AbortCauseLabel(size_t cause);
+
+/// Order statistics of one latency population.
+struct Percentiles {
+  uint64_t count = 0;
+  double mean = 0;
+  double p50 = 0;
+  double p95 = 0;
+  double p99 = 0;
+  double max = 0;
+};
+
+/// Computes order statistics over `samples` (sorted in place; nearest-rank
+/// percentiles, the convention EXPERIMENTS.md documents).
+Percentiles ComputePercentiles(std::vector<double>* samples);
+
+/// Per-origin-site (or per-datacenter) commit/abort tallies.
+struct GroupStats {
+  uint64_t submitted = 0;
+  uint64_t committed = 0;
+  uint64_t aborted = 0;
+  double response_sum = 0;  ///< summed response seconds of commits
+  double mean_response() const {
+    return committed == 0 ? 0 : response_sum / committed;
+  }
+};
+
+/// Abort counts per cause inside one timeline bucket.
+struct TimelineBucket {
+  double t0 = 0;
+  double t1 = 0;
+  std::array<uint64_t, kAbortCauseSlots> by_cause{};
+};
+
+/// Everything the offline analyzer derives from one point block. The
+/// "measured" counters replicate MetricsSnapshot's accounting (measured
+/// transactions, pre-freeze events only); the "history" counters and the
+/// serializability verdict cover the full execution like HistoryRecorder.
+struct PointAnalysis {
+  // -- MetricsSnapshot-equivalent counters (differentially tested) ----------
+  uint64_t submitted = 0;
+  uint64_t committed = 0;
+  uint64_t aborted = 0;
+  uint64_t completed = 0;
+  std::array<uint64_t, kAbortCauseSlots> aborted_by_cause{};
+
+  // -- HistoryRecorder-equivalent counters ----------------------------------
+  uint64_t history_committed = 0;  ///< all commits, warm-up and drain included
+  uint64_t history_reads = 0;      ///< all version reads recorded
+
+  /// Offline MVSG audit verdict: 1 serializable, 0 violation.
+  int serializable = 1;
+  std::string serializability_why;
+
+  // -- latency percentiles (measured transactions) --------------------------
+  Percentiles read_only_response;   ///< submit -> commit (response convention)
+  Percentiles update_response;      ///< submit -> commit
+  Percentiles commit_to_complete;   ///< commit -> all replicas installed
+  Percentiles lock_wait;            ///< blocked lock requests, wait seconds
+
+  // -- breakdowns -----------------------------------------------------------
+  std::vector<GroupStats> by_site;  ///< indexed by origin site
+  std::vector<GroupStats> by_dc;    ///< indexed by datacenter ordinal
+  std::vector<TimelineBucket> abort_timeline;
+};
+
+/// Analyzes one point block. `timeline_buckets` sizes the abort-cause
+/// timeline (0 disables it).
+PointAnalysis AnalyzePoint(const PointTrace& pt, int timeline_buckets = 10);
+
+/// Rebuilds the multiversion serialization graph from raw kRead /
+/// kCommit / kCommitItem records and checks acyclicity — an independent
+/// reimplementation of core::HistoryRecorder's audit (deliberately not
+/// shared code: the differential test compares two implementations that
+/// only agree if both the trace capture and the MVSG construction are
+/// right). Returns true when one-copy serializable; else fills `why`.
+bool CheckTraceSerializable(const PointTrace& pt, std::string* why);
+
+}  // namespace lazyrep::trace
+
+#endif  // LAZYREP_TRACE_TRACE_ANALYSIS_H_

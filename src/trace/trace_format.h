@@ -1,0 +1,100 @@
+#ifndef LAZYREP_TRACE_TRACE_FORMAT_H_
+#define LAZYREP_TRACE_TRACE_FORMAT_H_
+
+#include <cstdint>
+#include <cstring>
+
+namespace lazyrep::trace {
+
+/// On-disk trace format (DESIGN.md §4.8): a fixed file header, then one
+/// length-prefixed block per study point. Each block is a point header, a
+/// site -> datacenter map (num_sites uint16 ordinals), and record_count
+/// fixed-size Records in emission (= simulation event) order. All fields are
+/// little-endian native; the format is a capture artifact consumed on the
+/// machine that produced it, not an interchange format.
+
+inline constexpr char kTraceMagic[8] = {'L', 'Z', 'T', 'R', 'A', 'C', 'E', 0};
+inline constexpr uint32_t kTraceVersion = 1;
+inline constexpr uint32_t kPointMarker = 0x504f494e;  // "POIN"
+
+/// Per-transaction lifecycle events. The numeric values are part of the
+/// on-disk format: append only, never renumber.
+enum class EventType : uint8_t {
+  kSubmit = 1,      ///< txn submitted at origin; aux = #operations
+  kRead = 2,        ///< version read: item, aux = writer txn, aux_time = write ts
+  kLockGrant = 3,   ///< lock granted: item, flags = mode, aux_time = wait secs
+  kLockDeny = 4,    ///< lock denied: item, flags = mode, aux = WaitStatus
+  kRemoteRead = 5,  ///< read-lock request relayed to primary: aux = origin
+  kGraphTest = 6,   ///< RGtest verdict: aux = rg::Verdict (item set per-op)
+  kPrepare = 7,     ///< 2PC PREPARE phase started; aux = #participants
+  kVote = 8,        ///< participant voted YES (site = participant)
+  kCommit = 9,      ///< commit decision; aux = response-reference bits,
+                    ///< aux_time = TWR timestamp time (ts.txn == txn)
+  kCommitItem = 10, ///< one per write-set item of a committed txn
+  kAbort = 11,      ///< abort decision; aux = txn::AbortCause
+  kComplete = 12,   ///< all replicas installed; txn left the system
+};
+inline constexpr uint8_t kMaxEventType = 12;
+
+// Record.flags for lifecycle events (kLockGrant/kLockDeny carry the lock
+// mode instead — the lock manager knows neither measurement state).
+inline constexpr uint8_t kFlagMeasured = 1;  ///< counted by MetricsSnapshot
+inline constexpr uint8_t kFlagUpdate = 2;    ///< update (vs read-only) txn
+/// Emitted after the measurement freeze, during the post-run drain: part of
+/// the execution history (the MVSG audit must see it) but not of any
+/// MetricsSnapshot counter.
+inline constexpr uint8_t kFlagFrozen = 4;
+
+/// One trace event. 40 bytes, no padding; written to disk verbatim.
+struct Record {
+  double time = 0;      ///< simulation time of the event
+  double aux_time = 0;  ///< per-type auxiliary time/duration
+  uint64_t txn = 0;     ///< transaction id (0 = none)
+  uint64_t aux = 0;     ///< per-type auxiliary value
+  uint32_t item = 0;    ///< item id where meaningful, else 0
+  uint16_t site = 0;    ///< endpoint the event happened at
+  uint8_t type = 0;     ///< EventType
+  uint8_t flags = 0;    ///< kFlag* (or LockMode for lock events)
+};
+static_assert(sizeof(Record) == 40, "Record is the on-disk layout");
+
+struct FileHeader {
+  char magic[8] = {};
+  uint32_t version = 0;
+  uint32_t record_bytes = 0;
+  uint32_t num_points = 0;
+  uint32_t reserved = 0;
+};
+static_assert(sizeof(FileHeader) == 24);
+
+/// Block prefix of one study point. record_count is the length prefix; the
+/// sink back-patches it when the point finishes.
+struct PointHeader {
+  uint32_t marker = 0;
+  uint32_t point_index = 0;  ///< position in the sweep's canonical spec order
+  uint32_t protocol = 0;     ///< core::ProtocolKind
+  uint32_t num_sites = 0;
+  double x = 0;  ///< the swept parameter (0 when the run is not a sweep)
+  uint64_t seed = 0;
+  uint64_t record_count = 0;
+  uint32_t dc_count = 0;  ///< distinct datacenter ordinals in the site map
+  uint32_t reserved = 0;
+};
+static_assert(sizeof(PointHeader) == 48);
+
+/// Doubles ride in Record.aux bit-cast, so a record stays one memcpy.
+inline uint64_t BitsFromDouble(double d) {
+  uint64_t bits;
+  std::memcpy(&bits, &d, sizeof(bits));
+  return bits;
+}
+
+inline double DoubleFromBits(uint64_t bits) {
+  double d;
+  std::memcpy(&d, &bits, sizeof(d));
+  return d;
+}
+
+}  // namespace lazyrep::trace
+
+#endif  // LAZYREP_TRACE_TRACE_FORMAT_H_

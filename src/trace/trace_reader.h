@@ -1,0 +1,34 @@
+#ifndef LAZYREP_TRACE_TRACE_READER_H_
+#define LAZYREP_TRACE_TRACE_READER_H_
+
+#include <string>
+#include <vector>
+
+#include "trace/trace_format.h"
+
+namespace lazyrep::trace {
+
+/// One decoded study-point block.
+struct PointTrace {
+  PointHeader header;
+  std::vector<uint16_t> dc_of_site;
+  std::vector<Record> records;
+};
+
+/// A fully decoded trace file.
+struct TraceFile {
+  FileHeader header;
+  std::vector<PointTrace> points;
+};
+
+/// Reads and validates `path`. Returns false with a one-line diagnostic in
+/// `error` on any malformation: bad magic or version, wrong record size,
+/// bad point marker, record counts that overrun the file (truncation or an
+/// overlength length prefix), unknown record types, or trailing bytes.
+/// Never reads past the file or trusts a length prefix unchecked.
+bool ReadTraceFile(const std::string& path, TraceFile* out,
+                   std::string* error);
+
+}  // namespace lazyrep::trace
+
+#endif  // LAZYREP_TRACE_TRACE_READER_H_

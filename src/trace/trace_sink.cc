@@ -1,0 +1,131 @@
+#include "trace/trace_sink.h"
+
+#include <cstdio>
+#include <cstring>
+
+namespace lazyrep::trace {
+
+namespace {
+constexpr size_t kRingRecords = 4096;  // 160 KiB of spill buffer
+
+bool WriteAll(std::FILE* f, const void* data, size_t bytes) {
+  return std::fwrite(data, 1, bytes, f) == bytes;
+}
+}  // namespace
+
+std::unique_ptr<TraceSink> TraceSink::Open(const std::string& path,
+                                           const PointMeta& meta,
+                                           std::string* error) {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) {
+    if (error != nullptr) *error = "cannot create trace file: " + path;
+    return nullptr;
+  }
+  PointHeader header;
+  header.marker = kPointMarker;
+  header.point_index = meta.point_index;
+  header.protocol = meta.protocol;
+  header.num_sites = static_cast<uint32_t>(meta.dc_of_site.size());
+  header.x = meta.x;
+  header.seed = meta.seed;
+  header.record_count = 0;  // back-patched by Finish
+  uint32_t dc_count = 0;
+  for (uint16_t dc : meta.dc_of_site) {
+    if (dc + 1u > dc_count) dc_count = dc + 1u;
+  }
+  header.dc_count = dc_count;
+  bool ok = WriteAll(f, &header, sizeof(header));
+  if (ok && !meta.dc_of_site.empty()) {
+    ok = WriteAll(f, meta.dc_of_site.data(),
+                  meta.dc_of_site.size() * sizeof(uint16_t));
+  }
+  if (!ok) {
+    std::fclose(f);
+    std::remove(path.c_str());
+    if (error != nullptr) *error = "write failed on trace file: " + path;
+    return nullptr;
+  }
+  auto sink = std::unique_ptr<TraceSink>(new TraceSink());
+  sink->file_ = f;
+  sink->ring_.resize(kRingRecords);
+  sink->count_offset_ =
+      static_cast<long>(offsetof(PointHeader, record_count));
+  return sink;
+}
+
+TraceSink::~TraceSink() {
+  if (!finished_) {
+    std::string ignored;
+    Finish(&ignored);
+  }
+  if (file_ != nullptr) std::fclose(file_);
+}
+
+void TraceSink::Spill() {
+  if (fill_ == 0) return;
+  if (!WriteAll(file_, ring_.data(), fill_ * sizeof(Record))) {
+    write_error_ = true;
+  }
+  fill_ = 0;
+}
+
+bool TraceSink::Finish(std::string* error) {
+  if (finished_) return !write_error_;
+  finished_ = true;
+  Spill();
+  if (std::fseek(file_, count_offset_, SEEK_SET) != 0 ||
+      !WriteAll(file_, &count_, sizeof(count_)) ||
+      std::fflush(file_) != 0) {
+    write_error_ = true;
+  }
+  if (write_error_ && error != nullptr) *error = "trace write failed";
+  return !write_error_;
+}
+
+std::string ShardPath(const std::string& path, size_t i) {
+  return path + ".shard" + std::to_string(i);
+}
+
+bool MergeShards(const std::string& path,
+                 const std::vector<std::string>& shards, std::string* error) {
+  std::FILE* out = std::fopen(path.c_str(), "wb");
+  if (out == nullptr) {
+    if (error != nullptr) *error = "cannot create trace file: " + path;
+    return false;
+  }
+  FileHeader header;
+  std::memcpy(header.magic, kTraceMagic, sizeof(header.magic));
+  header.version = kTraceVersion;
+  header.record_bytes = sizeof(Record);
+  header.num_points = static_cast<uint32_t>(shards.size());
+  bool ok = WriteAll(out, &header, sizeof(header));
+  std::vector<char> buf(1 << 16);
+  for (const std::string& shard : shards) {
+    if (!ok) break;
+    std::FILE* in = std::fopen(shard.c_str(), "rb");
+    if (in == nullptr) {
+      if (error != nullptr) *error = "missing trace shard: " + shard;
+      ok = false;
+      break;
+    }
+    size_t n;
+    while ((n = std::fread(buf.data(), 1, buf.size(), in)) > 0) {
+      if (!WriteAll(out, buf.data(), n)) {
+        ok = false;
+        break;
+      }
+    }
+    std::fclose(in);
+  }
+  if (std::fclose(out) != 0) ok = false;
+  for (const std::string& shard : shards) std::remove(shard.c_str());
+  if (!ok) {
+    std::remove(path.c_str());
+    if (error != nullptr && error->empty()) {
+      *error = "trace merge failed: " + path;
+    }
+  }
+  return ok;
+}
+
+}  // namespace lazyrep::trace

@@ -1,0 +1,95 @@
+#ifndef LAZYREP_TRACE_TRACE_SINK_H_
+#define LAZYREP_TRACE_TRACE_SINK_H_
+
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "trace/trace_format.h"
+
+namespace lazyrep::trace {
+
+/// Metadata of the study point a sink records: everything the offline
+/// analyzer needs to label the block without re-deriving the config.
+struct PointMeta {
+  uint32_t point_index = 0;
+  uint32_t protocol = 0;
+  double x = 0;
+  uint64_t seed = 0;
+  /// Datacenter ordinal of each site (all zero on a flat star).
+  std::vector<uint16_t> dc_of_site;
+};
+
+/// Writes one study point's trace block. Emit() is on the simulation's
+/// critical path, so it only copies 40 bytes into a preallocated ring and
+/// spills the full ring with one fwrite — no allocation after Open. The
+/// record_count length prefix is back-patched on Finish.
+///
+/// Sinks are single-threaded like the System they observe; under --jobs > 1
+/// each worker writes its point to a private shard file and MergeShards
+/// concatenates them in canonical spec order, which is what makes trace
+/// bytes independent of the jobs level.
+class TraceSink {
+ public:
+  /// Opens `path` and writes the point header + site map. Returns null and
+  /// fills `error` when the file cannot be created.
+  static std::unique_ptr<TraceSink> Open(const std::string& path,
+                                         const PointMeta& meta,
+                                         std::string* error);
+  ~TraceSink();
+  TraceSink(const TraceSink&) = delete;
+  TraceSink& operator=(const TraceSink&) = delete;
+
+  void Emit(EventType type, double time, uint64_t txn, uint16_t site,
+            uint8_t flags, uint32_t item = 0, uint64_t aux = 0,
+            double aux_time = 0) {
+    Record& r = ring_[fill_++];
+    r.time = time;
+    r.aux_time = aux_time;
+    r.txn = txn;
+    r.aux = aux;
+    r.item = item;
+    r.site = site;
+    r.type = static_cast<uint8_t>(type);
+    r.flags = static_cast<uint8_t>(flags | (frozen_ ? kFlagFrozen : 0));
+    ++count_;
+    if (fill_ == ring_.size()) Spill();
+  }
+
+  /// After the measurement freeze every further record carries kFlagFrozen:
+  /// still part of the execution history, invisible to MetricsSnapshot.
+  void set_frozen(bool frozen) { frozen_ = frozen; }
+
+  uint64_t count() const { return count_; }
+
+  /// Flushes the ring and back-patches record_count. Idempotent; returns
+  /// false (with `error` filled) on I/O failure.
+  bool Finish(std::string* error);
+
+ private:
+  TraceSink() = default;
+  void Spill();
+
+  std::FILE* file_ = nullptr;
+  std::vector<Record> ring_;
+  size_t fill_ = 0;
+  uint64_t count_ = 0;
+  long count_offset_ = 0;  ///< file offset of PointHeader::record_count
+  bool frozen_ = false;
+  bool finished_ = false;
+  bool write_error_ = false;
+};
+
+/// Shard file of point `i` for a final trace at `path`.
+std::string ShardPath(const std::string& path, size_t i);
+
+/// Writes the file header and concatenates the finished shard blocks into
+/// `path` in the given order, deleting each shard. Returns false (with
+/// `error`) on I/O failure.
+bool MergeShards(const std::string& path,
+                 const std::vector<std::string>& shards, std::string* error);
+
+}  // namespace lazyrep::trace
+
+#endif  // LAZYREP_TRACE_TRACE_SINK_H_

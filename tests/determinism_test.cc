@@ -5,12 +5,15 @@
 // requires that all-zero fault knobs reproduce the exact fault-free run
 // (the zero-knob gating guarantee).
 
+#include <cstdio>
 #include <string>
+#include <vector>
 
 #include <gtest/gtest.h>
 
 #include "core/config.h"
 #include "core/metrics.h"
+#include "core/study.h"
 #include "core/system.h"
 
 namespace lazyrep::core {
@@ -76,6 +79,61 @@ TEST_P(Determinism, ZeroFaultKnobsReproduceTheFaultFreeRun) {
   std::string b = RunToString(zeroed, GetParam());
   EXPECT_EQ(a, b);
   EXPECT_EQ(a.find("faults:"), std::string::npos) << a;
+}
+
+/// FNV-1a 64 over a byte string — the golden-fingerprint hash.
+uint64_t Fnv1a(const std::string& bytes) {
+  uint64_t h = 1469598103934665603ull;
+  for (unsigned char c : bytes) {
+    h ^= c;
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+TEST(TraceDeterminism, GoldenTraceFingerprint) {
+  // Byte-identity regression for the --trace capture itself: a small
+  // OC-3-flavored sweep (all four protocols, two loads) must produce this
+  // exact trace file, down to the last record. Any change to event emission
+  // order, record layout, or the shard merge shows up here. If a deliberate
+  // semantic change invalidates the constant, regenerate it with this test's
+  // own failure output (it prints the new fingerprint).
+  std::vector<core::RunSpec> specs;
+  for (ProtocolKind k :
+       {ProtocolKind::kLocking, ProtocolKind::kPessimistic,
+        ProtocolKind::kOptimistic, ProtocolKind::kEager}) {
+    for (double tps : {40.0, 90.0}) {
+      SystemConfig c;
+      c.num_sites = 4;
+      c.workload.items_per_site = 12;
+      c.tps = tps;
+      c.total_txns = 300;
+      c.warmup_per_site = 2;
+      c.seed = DerivePointSeed("trace-golden", k, tps, 17);
+      c.Normalize();
+      core::RunSpec spec{c, k};
+      spec.x = tps;
+      specs.push_back(spec);
+    }
+  }
+  std::string path = ::testing::TempDir() + "determinism_golden.trace";
+  core::RunAll(specs, /*jobs=*/2, /*check_serializability=*/true, {},
+               /*post_run_audit=*/false, path);
+
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  ASSERT_NE(f, nullptr);
+  std::string bytes;
+  char buf[4096];
+  size_t n;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) bytes.append(buf, n);
+  std::fclose(f);
+  ASSERT_GT(bytes.size(), 0u);
+
+  char got[32];
+  std::snprintf(got, sizeof(got), "%016llx",
+                (unsigned long long)Fnv1a(bytes));
+  EXPECT_STREQ(got, "a27fd035de8149a8");
+  std::remove(path.c_str());
 }
 
 INSTANTIATE_TEST_SUITE_P(AllProtocols, Determinism,

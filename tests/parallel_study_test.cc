@@ -15,6 +15,7 @@
 
 #include "core/parallel.h"
 #include "core/study.h"
+#include "trace/trace_sink.h"
 
 namespace lazyrep::core {
 namespace {
@@ -222,6 +223,73 @@ TEST(ParallelStudyTest, ChaosSchedulesAreByteIdenticalAtAnyJobsLevel) {
         << i << ": " << serial[i].convergence_why;
     EXPECT_EQ(serial[i].stranded_txns, 0u) << i;
   }
+}
+
+std::string ReadFileBytes(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  EXPECT_NE(f, nullptr) << path;
+  if (f == nullptr) return {};
+  std::string bytes;
+  char buf[4096];
+  size_t n;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) bytes.append(buf, n);
+  std::fclose(f);
+  return bytes;
+}
+
+TEST(ParallelStudyTest, TraceBytesAreIdenticalAtAnyJobsLevel) {
+  // The --trace determinism contract: workers write per-point shards that
+  // are merged in canonical spec order, so the final file's bytes are
+  // independent of the jobs level — and no shard files survive the merge.
+  std::string p1 = ::testing::TempDir() + "par_study_j1.trace";
+  std::string p4 = ::testing::TempDir() + "par_study_j4.trace";
+
+  StudyRunner serial = MakeRunner();
+  serial.set_jobs(1);
+  serial.set_check_serializability(true);
+  serial.set_trace_path(p1);
+  std::vector<StudyPoint> s1 = serial.Sweep({30, 60}, /*verbose=*/false);
+
+  StudyRunner parallel = MakeRunner();
+  parallel.set_jobs(4);
+  parallel.set_check_serializability(true);
+  parallel.set_trace_path(p4);
+  std::vector<StudyPoint> s4 = parallel.Sweep({30, 60}, false);
+
+  ASSERT_EQ(s1.size(), 8u);  // 4 protocols x 2 loads
+  EXPECT_EQ(FingerprintAll(s1), FingerprintAll(s4));
+
+  std::string b1 = ReadFileBytes(p1);
+  std::string b4 = ReadFileBytes(p4);
+  ASSERT_FALSE(b1.empty());
+  EXPECT_EQ(b1, b4) << "trace bytes differ between --jobs=1 and --jobs=4";
+
+  // Every worker shard must have been consumed by the merge.
+  for (size_t i = 0; i < s4.size(); ++i) {
+    std::string shard = trace::ShardPath(p4, i);
+    std::FILE* f = std::fopen(shard.c_str(), "rb");
+    EXPECT_EQ(f, nullptr) << shard << " left behind";
+    if (f != nullptr) std::fclose(f);
+  }
+  std::remove(p1.c_str());
+  std::remove(p4.c_str());
+}
+
+TEST(ParallelStudyTest, TracingLeavesStudyResultsUntouched) {
+  // Recording a trace must not perturb the simulation: the study points of
+  // a traced sweep are bit-identical to an untraced one.
+  StudyRunner plain = MakeRunner();
+  plain.set_jobs(2);
+  std::vector<StudyPoint> a = plain.Sweep({45}, false);
+
+  std::string path = ::testing::TempDir() + "par_study_untouched.trace";
+  StudyRunner traced = MakeRunner();
+  traced.set_jobs(2);
+  traced.set_trace_path(path);
+  std::vector<StudyPoint> b = traced.Sweep({45}, false);
+
+  EXPECT_EQ(FingerprintAll(a), FingerprintAll(b));
+  std::remove(path.c_str());
 }
 
 TEST(ThreadPoolTest, RunsEverySubmittedTask) {

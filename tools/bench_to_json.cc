@@ -3,86 +3,28 @@
 //   ./bench_kernel --report | ./bench_to_json > BENCH_KERNEL.json
 //   ./bench_chaos --schedules=500 | ./bench_to_json > BENCH_CHAOS.json
 //
-// Two input shapes compose freely:
-//   * key=value lines become top-level fields. Values that parse fully as
-//     numbers are emitted as JSON numbers, everything else as strings.
-//   * lines that are themselves JSON objects (the chaos harness emits one
-//     per run) are collected verbatim into a top-level "runs" array.
-// Anything else is ignored, so the tool can sit at the end of a pipeline
-// that also prints diagnostics.
+// The conversion itself lives in bench_to_json_lib.cc (shared with the
+// golden-file test); this binary just pipes stdin through it. Exits 1 with
+// a diagnostic if the input contains a malformed run-object line.
 
 #include <cstdio>
-#include <cstdlib>
 #include <string>
-#include <vector>
 
-namespace {
-
-bool IsNumber(const std::string& s) {
-  if (s.empty()) return false;
-  char* end = nullptr;
-  std::strtod(s.c_str(), &end);
-  return end != nullptr && *end == '\0';
-}
-
-std::string EscapeJson(const std::string& s) {
-  std::string out;
-  out.reserve(s.size());
-  for (char c : s) {
-    if (c == '"' || c == '\\') {
-      out.push_back('\\');
-      out.push_back(c);
-    } else if (static_cast<unsigned char>(c) < 0x20) {
-      char buf[8];
-      std::snprintf(buf, sizeof(buf), "\\u%04x", c);
-      out += buf;
-    } else {
-      out.push_back(c);
-    }
-  }
-  return out;
-}
-
-}  // namespace
+#include "tools/bench_to_json_lib.h"
 
 int main() {
-  std::vector<std::pair<std::string, std::string>> entries;
-  std::vector<std::string> runs;
-  char line[4096];
-  while (std::fgets(line, sizeof(line), stdin) != nullptr) {
-    std::string s(line);
-    while (!s.empty() && (s.back() == '\n' || s.back() == '\r')) s.pop_back();
-    if (!s.empty() && s.front() == '{' && s.back() == '}') {
-      runs.push_back(s);
-      continue;
-    }
-    size_t eq = s.find('=');
-    if (eq == std::string::npos || eq == 0) continue;
-    // A key with spaces is prose that happens to contain '=', not a field.
-    if (s.find(' ') < eq) continue;
-    entries.emplace_back(s.substr(0, eq), s.substr(eq + 1));
+  std::string input;
+  char buf[4096];
+  size_t n;
+  while ((n = std::fread(buf, 1, sizeof(buf), stdin)) > 0) {
+    input.append(buf, n);
   }
 
-  std::printf("{\n");
-  bool more = !runs.empty();
-  for (size_t i = 0; i < entries.size(); ++i) {
-    const auto& [key, value] = entries[i];
-    std::printf("  \"%s\": ", EscapeJson(key).c_str());
-    if (IsNumber(value)) {
-      std::printf("%s", value.c_str());
-    } else {
-      std::printf("\"%s\"", EscapeJson(value).c_str());
-    }
-    std::printf(i + 1 < entries.size() || more ? ",\n" : "\n");
+  std::string out, error;
+  if (!lazyrep::tools::ConvertBenchReport(input, &out, &error)) {
+    std::fprintf(stderr, "bench_to_json: %s\n", error.c_str());
+    return 1;
   }
-  if (!runs.empty()) {
-    std::printf("  \"runs\": [\n");
-    for (size_t i = 0; i < runs.size(); ++i) {
-      std::printf("    %s%s\n", runs[i].c_str(),
-                  i + 1 < runs.size() ? "," : "");
-    }
-    std::printf("  ]\n");
-  }
-  std::printf("}\n");
+  std::fputs(out.c_str(), stdout);
   return 0;
 }

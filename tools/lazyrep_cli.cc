@@ -65,6 +65,8 @@ void PrintHelp() {
       "  --retries=N --rto=SEC           reliable-messaging retry policy\n"
       "output\n"
       "  --csv=FILE                      append a machine-readable row\n"
+      "  --trace=FILE                    record per-transaction event traces\n"
+      "                                  (analyze with lazyrep_trace)\n"
       "  --check-serializability         run the MVSG checker (slower)\n"
       "  --jobs=N                        run --protocol=all runs on N worker\n"
       "                                  threads (0 = all cores; default 1)\n"
@@ -124,6 +126,7 @@ int main(int argc, char** argv) {
   std::vector<core::ProtocolKind> protocols = {
       core::ProtocolKind::kOptimistic};
   std::string csv_path;
+  std::string trace_path;
   bool check_serializability = false;
   bool quiet = false;
   int jobs = 1;  // serial by default; --jobs=0 means all cores
@@ -284,6 +287,8 @@ int main(int argc, char** argv) {
       config.fault.rto_initial = std::atof(v);
     } else if (FlagValue(a, "--csv", &v)) {
       csv_path = v;
+    } else if (FlagValue(a, "--trace", &v)) {
+      trace_path = v;
     } else if (FlagValue(a, "--jobs", &v)) {
       jobs = std::atoi(v);
       if (jobs <= 0) jobs = 0;  // 0 = hardware_concurrency
@@ -315,7 +320,8 @@ int main(int argc, char** argv) {
     specs.push_back({config, kind});
   }
   std::vector<core::MetricsSnapshot> snaps =
-      core::RunAll(specs, jobs, check_serializability);
+      core::RunAll(specs, jobs, check_serializability, {},
+                   /*post_run_audit=*/false, trace_path);
 
   int exit_code = 0;
   for (size_t i = 0; i < specs.size(); ++i) {
