@@ -30,17 +30,7 @@ trace::PointMeta MakePointMeta(const RunSpec& spec, size_t index) {
   meta.x = spec.x;
   meta.seed = spec.config.seed;
   net::Topology topo = spec.config.BuildTopology();
-  std::vector<int> ordinal_of_group;
-  meta.dc_of_site.reserve(spec.config.num_sites);
-  for (int s = 0; s < spec.config.num_sites; ++s) {
-    int g = topo.AncestorAt(static_cast<db::SiteId>(s), 1);
-    size_t i = 0;
-    for (; i < ordinal_of_group.size(); ++i) {
-      if (ordinal_of_group[i] == g) break;
-    }
-    if (i == ordinal_of_group.size()) ordinal_of_group.push_back(g);
-    meta.dc_of_site.push_back(static_cast<uint16_t>(i));
-  }
+  meta.dc_of_site = net::DatacenterOrdinals(topo, spec.config.num_sites);
   return meta;
 }
 
@@ -68,6 +58,9 @@ std::vector<MetricsSnapshot> RunAll(
   std::mutex done_mu;
   ParallelFor(jobs, specs.size(), [&](size_t i) {
     System system(specs[i].config, specs[i].protocol);
+    if (specs[i].make_workload) {
+      system.set_workload_source(specs[i].make_workload());
+    }
     HistoryRecorder history;
     if (check_serializability) system.set_history(&history);
     std::unique_ptr<trace::TraceSink> sink;

@@ -2,6 +2,7 @@
 #define LAZYREP_CORE_STUDY_H_
 
 #include <functional>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -9,6 +10,8 @@
 #include "core/metrics.h"
 
 namespace lazyrep::core {
+
+class WorkloadSource;
 
 /// One measured point of a study: protocol × sweep value.
 struct StudyPoint {
@@ -33,6 +36,11 @@ struct RunSpec {
   /// The swept parameter, recorded in the point's trace block header for
   /// offline labeling (no effect on the run itself).
   double x = 0;
+  /// When set, RunAll installs the returned source on the System before
+  /// Run() — the trace-replay path (replay::MakeReplaySpec builds these).
+  /// Called once per run, possibly from a worker thread, so it must be a
+  /// pure factory. Null (the default) keeps the built-in Poisson generator.
+  std::function<std::unique_ptr<WorkloadSource>()> make_workload = nullptr;
 };
 
 /// Runs every spec (each an independent, self-contained System) across

@@ -13,12 +13,10 @@
 namespace lazyrep::core {
 
 System::System(const SystemConfig& config, ProtocolKind kind)
-    : config_(config), kind_(kind), generator_([&] {
-        SystemConfig c = config;
-        c.Normalize();
-        return c.workload;
-      }()) {
+    : config_(config), kind_(kind) {
   config_.Normalize();
+  workload_ =
+      std::make_unique<GeneratedWorkload>(config_.workload, config_.loc_tps());
   sim::RandomStream seeder(config_.seed);
   sites_.reserve(config_.num_sites);
   for (int s = 0; s < config_.num_sites; ++s) {
@@ -560,7 +558,7 @@ sim::Task<System::ConflictEdges> System::ApplyWrites(db::SiteId s,
 
 void System::Submit(db::SiteId s, sim::RandomStream* rng) {
   db::TxnId id = ++txn_counter_;
-  txn::Transaction t = generator_.Generate(id, s, rng);
+  txn::Transaction t = workload_->NextTxn(id, s, rng);
   t.submit_time = sim_.Now();
   t.ts = db::Timestamp{sim_.Now(), id};
   t.born_epoch = amnesia() ? site_epochs_[s] : 0;
@@ -583,6 +581,13 @@ void System::Submit(db::SiteId s, sim::RandomStream* rng) {
   protocol_->OnRegister(ptr);
   metrics_.OnSubmit(*ptr);
   TraceEvent(trace::EventType::kSubmit, *ptr, s, 0, ptr->ops.size());
+  if (trace_ != nullptr) {
+    // The op-level access set (v2): what makes the trace replayable.
+    for (const db::Operation& op : ptr->ops) {
+      TraceEvent(trace::EventType::kSubmitOp, *ptr, s, op.item,
+                 op.type == db::OpType::kWrite ? 1 : 0);
+    }
+  }
 
   if (injector_ && !injector_->IsUp(s)) {
     // The origination site is down: the client's request never reaches a
@@ -604,9 +609,14 @@ void System::Submit(db::SiteId s, sim::RandomStream* rng) {
 }
 
 sim::Process System::GeneratorProcess(db::SiteId s, sim::RandomStream rng) {
-  double mean = 1.0 / config_.loc_tps();
   while (!done_) {
-    co_await sim_.Delay(rng.Exponential(mean));
+    WorkloadSource::Arrival next = workload_->NextArrival(s, &rng);
+    if (!next.has) break;
+    if (next.absolute) {
+      co_await sim_.DelayUntil(next.at);
+    } else {
+      co_await sim_.Delay(next.at);
+    }
     if (done_) break;
     Submit(s, &rng);
   }

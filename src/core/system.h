@@ -26,9 +26,9 @@
 #include "sim/process.h"
 #include "sim/random.h"
 #include "sim/simulation.h"
+#include "core/workload_source.h"
 #include "trace/trace_sink.h"
 #include "txn/transaction.h"
-#include "txn/workload.h"
 
 namespace lazyrep::proto {
 class Protocol;
@@ -273,6 +273,14 @@ class System {
   void set_history(HistoryRecorder* history) { history_ = history; }
   HistoryRecorder* history() { return history_; }
 
+  /// Replaces the workload source (default: the Poisson GeneratedWorkload
+  /// built from config.workload). The trace-replay path installs a
+  /// replay::ScriptWorkload here. Must be called before Run(); `source`
+  /// must be non-null.
+  void set_workload_source(std::unique_ptr<WorkloadSource> source) {
+    workload_ = std::move(source);
+  }
+
   // -- event tracing (all no-ops until set_trace; see DESIGN.md §4.8) ---------
 
   /// Attaches a trace sink and propagates it to every site's lock manager.
@@ -335,7 +343,7 @@ class System {
   SystemConfig config_;
   ProtocolKind kind_;
   sim::Simulation sim_;
-  txn::WorkloadGenerator generator_;
+  std::unique_ptr<WorkloadSource> workload_;
   std::vector<std::unique_ptr<Site>> sites_;
   std::unique_ptr<net::Network> network_;
   db::SiteId graph_endpoint_ = 0;

@@ -225,4 +225,20 @@ Topology BuildTopology(const TopologySpec& spec, int num_sites,
   return Topology::Star(num_sites, params);
 }
 
+std::vector<uint16_t> DatacenterOrdinals(const Topology& topo, int num_sites) {
+  std::vector<int> ordinal_of_group;
+  std::vector<uint16_t> dc_of_site;
+  dc_of_site.reserve(num_sites);
+  for (int s = 0; s < num_sites; ++s) {
+    int g = topo.AncestorAt(static_cast<db::SiteId>(s), 1);
+    size_t i = 0;
+    for (; i < ordinal_of_group.size(); ++i) {
+      if (ordinal_of_group[i] == g) break;
+    }
+    if (i == ordinal_of_group.size()) ordinal_of_group.push_back(g);
+    dc_of_site.push_back(static_cast<uint16_t>(i));
+  }
+  return dc_of_site;
+}
+
 }  // namespace lazyrep::net

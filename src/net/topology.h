@@ -149,6 +149,15 @@ class Topology {
 Topology BuildTopology(const TopologySpec& spec, int num_sites,
                        const NetworkParams& params);
 
+/// Datacenter ordinal of each of the first `num_sites` endpoints: the
+/// depth-1 ancestor group (the "dc<i>" tier of geo topologies), densified in
+/// site order — first distinct group seen becomes ordinal 0, the next 1, and
+/// so on. Endpoints with no depth-1 ancestor (a flat star's sites hang
+/// directly off the root) all share one ordinal. The trace site map
+/// (core/study.cc) and the replay site-mapper both label sites through this,
+/// so --by-dc breakdowns of a recorded and a replayed trace agree.
+std::vector<uint16_t> DatacenterOrdinals(const Topology& topo, int num_sites);
+
 /// The access edge a NetworkParams describes: symmetric bandwidth and no
 /// propagation delay (the switch latency models the one-way hop).
 inline EdgeParams AccessEdge(const NetworkParams& params) {

@@ -1,0 +1,222 @@
+#include "replay/trace_diff.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+
+namespace lazyrep::replay {
+
+namespace {
+
+using trace::Record;
+
+std::string FormatRecord(size_t index, const Record& r) {
+  char buf[192];
+  std::snprintf(buf, sizeof(buf),
+                "#%zu t=%.9f %-11s txn=%llu site=%u item=%u aux=%llu "
+                "aux_time=%.9f flags=0x%02x",
+                index, r.time, EventTypeName(r.type),
+                (unsigned long long)r.txn, r.site, r.item,
+                (unsigned long long)r.aux, r.aux_time, r.flags);
+  return buf;
+}
+
+bool SameRecord(const Record& a, const Record& b) {
+  return std::memcmp(&a, &b, sizeof(Record)) == 0;
+}
+
+/// Names every field in which `a` and `b` differ ("time, aux, flags").
+std::string DifferingFields(const Record& a, const Record& b) {
+  std::string out;
+  auto add = [&out](const char* name) {
+    if (!out.empty()) out += ", ";
+    out += name;
+  };
+  if (a.time != b.time) add("time");
+  if (a.aux_time != b.aux_time) add("aux_time");
+  if (a.txn != b.txn) add("txn");
+  if (a.aux != b.aux) add("aux");
+  if (a.item != b.item) add("item");
+  if (a.site != b.site) add("site");
+  if (a.type != b.type) add("type");
+  if (a.flags != b.flags) add("flags");
+  return out;
+}
+
+/// Occurrence index of records[i] among earlier records with the same
+/// (txn, type) — the `seq` of the (txn id, event type, seq) alignment key.
+size_t OccurrenceIndex(const std::vector<Record>& records, size_t i) {
+  size_t seq = 0;
+  for (size_t j = 0; j < i; ++j) {
+    if (records[j].txn == records[i].txn &&
+        records[j].type == records[i].type) {
+      ++seq;
+    }
+  }
+  return seq;
+}
+
+/// Finds the record in `records` with the same (txn, type) key as `key` and
+/// occurrence index `seq`; returns its index or records.size().
+size_t FindByKey(const std::vector<Record>& records, const Record& key,
+                 size_t seq) {
+  size_t seen = 0;
+  for (size_t j = 0; j < records.size(); ++j) {
+    if (records[j].txn == key.txn && records[j].type == key.type) {
+      if (seen == seq) return j;
+      ++seen;
+    }
+  }
+  return records.size();
+}
+
+void AppendContext(std::string* out, const char* label,
+                   const std::vector<Record>& records, size_t center,
+                   int context) {
+  *out += label;
+  *out += ":\n";
+  size_t lo = center >= static_cast<size_t>(context) ? center - context : 0;
+  size_t hi = std::min(records.size(), center + context + 1);
+  for (size_t i = lo; i < hi; ++i) {
+    *out += i == center ? "  > " : "    ";
+    *out += FormatRecord(i, records[i]);
+    *out += "\n";
+  }
+  if (center >= records.size()) {
+    *out += "  > (stream ends at #" + std::to_string(records.size()) + ")\n";
+  }
+}
+
+/// The keyed follow-up: where did A's diverging event go in B?
+void AppendKeyedLocalization(std::string* out, const std::vector<Record>& a,
+                             const std::vector<Record>& b, size_t i) {
+  const Record& ra = a[i];
+  size_t seq = OccurrenceIndex(a, i);
+  size_t j = FindByKey(b, ra, seq);
+  char buf[256];
+  if (j == b.size()) {
+    std::snprintf(buf, sizeof(buf),
+                  "A's event (txn=%llu type=%s seq=%zu) is absent from B\n",
+                  (unsigned long long)ra.txn, EventTypeName(ra.type), seq);
+    *out += buf;
+    return;
+  }
+  if (j != i) {
+    std::snprintf(buf, sizeof(buf),
+                  "A's event (txn=%llu type=%s seq=%zu) appears in B at #%zu "
+                  "(displaced %+lld)\n",
+                  (unsigned long long)ra.txn, EventTypeName(ra.type), seq, j,
+                  (long long)j - (long long)i);
+    *out += buf;
+  }
+  if (!SameRecord(ra, b[j])) {
+    std::snprintf(buf, sizeof(buf),
+                  "its payload differs there too (fields: %s)\n",
+                  DifferingFields(ra, b[j]).c_str());
+    *out += buf;
+  }
+}
+
+}  // namespace
+
+const char* EventTypeName(uint8_t type) {
+  static const char* const kNames[] = {
+      "none",       "submit", "read",   "lock_grant",  "lock_deny",
+      "remote_read", "graph_test", "prepare", "vote", "commit",
+      "commit_item", "abort",  "complete", "submit_op"};
+  static_assert(sizeof(kNames) / sizeof(kNames[0]) ==
+                trace::kMaxEventType + 1);
+  return type <= trace::kMaxEventType ? kNames[type] : "unknown";
+}
+
+PointDiff DiffPoint(const trace::PointTrace& a, const trace::PointTrace& b,
+                    const TraceDiffOptions& opt) {
+  PointDiff d;
+  char buf[256];
+  // Identity fields: differences are context, not divergence by themselves
+  // (diffing an optimistic recording against its eager replay is the whole
+  // point of the tool).
+  std::string identity;
+  if (a.header.protocol != b.header.protocol) {
+    std::snprintf(buf, sizeof(buf), "note: protocol differs (%u vs %u)\n",
+                  a.header.protocol, b.header.protocol);
+    identity += buf;
+  }
+  if (a.header.seed != b.header.seed) {
+    std::snprintf(buf, sizeof(buf), "note: seed differs (%llu vs %llu)\n",
+                  (unsigned long long)a.header.seed,
+                  (unsigned long long)b.header.seed);
+    identity += buf;
+  }
+  if (a.header.num_sites != b.header.num_sites) {
+    std::snprintf(buf, sizeof(buf), "note: num_sites differs (%u vs %u)\n",
+                  a.header.num_sites, b.header.num_sites);
+    identity += buf;
+  }
+
+  size_t common = std::min(a.records.size(), b.records.size());
+  size_t i = 0;
+  while (i < common && SameRecord(a.records[i], b.records[i])) ++i;
+  if (i == common && a.records.size() == b.records.size()) {
+    if (!identity.empty()) d.summary = identity;  // headers-only difference
+    d.identical = identity.empty();
+    d.first_divergence = a.records.size();
+    return d;
+  }
+
+  d.identical = false;
+  d.first_divergence = i;
+  d.summary = identity;
+  if (i == common) {
+    // One stream is a strict prefix of the other.
+    const bool a_shorter = a.records.size() < b.records.size();
+    const std::vector<Record>& longer = a_shorter ? b.records : a.records;
+    std::snprintf(buf, sizeof(buf),
+                  "first divergence at record #%zu: %s ends, %s continues "
+                  "(%zu vs %zu records); first extra event:\n",
+                  i, a_shorter ? "A" : "B", a_shorter ? "B" : "A",
+                  a.records.size(), b.records.size());
+    d.summary += buf;
+    d.summary += "  " + FormatRecord(i, longer[i]) + "\n";
+    return d;
+  }
+  std::snprintf(buf, sizeof(buf),
+                "first divergence at record #%zu (fields: %s)\n", i,
+                DifferingFields(a.records[i], b.records[i]).c_str());
+  d.summary += buf;
+  AppendContext(&d.summary, "A", a.records, i, opt.context);
+  AppendContext(&d.summary, "B", b.records, i, opt.context);
+  AppendKeyedLocalization(&d.summary, a.records, b.records, i);
+  return d;
+}
+
+TraceDiff DiffTraceFiles(const trace::TraceFile& a, const trace::TraceFile& b,
+                         const TraceDiffOptions& opt) {
+  TraceDiff d;
+  size_t common = std::min(a.points.size(), b.points.size());
+  d.points.reserve(common);
+  for (size_t p = 0; p < common; ++p) {
+    d.points.push_back(DiffPoint(a.points[p], b.points[p], opt));
+    if (!d.points.back().identical && d.first_point < 0) {
+      d.identical = false;
+      d.first_point = static_cast<int>(p);
+      d.summary = "point " + std::to_string(p) + ":\n" +
+                  d.points.back().summary;
+    }
+  }
+  if (a.points.size() != b.points.size()) {
+    d.identical = false;
+    std::string note = "files hold different point counts (" +
+                       std::to_string(a.points.size()) + " vs " +
+                       std::to_string(b.points.size()) + ")\n";
+    if (d.first_point < 0) {
+      d.first_point = static_cast<int>(common);
+      d.summary = note;
+    } else {
+      d.summary += note;
+    }
+  }
+  return d;
+}
+
+}  // namespace lazyrep::replay

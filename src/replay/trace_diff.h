@@ -1,0 +1,65 @@
+#ifndef LAZYREP_REPLAY_TRACE_DIFF_H_
+#define LAZYREP_REPLAY_TRACE_DIFF_H_
+
+#include <string>
+#include <vector>
+
+#include "trace/trace_reader.h"
+
+namespace lazyrep::replay {
+
+/// Regression localization for event streams (DESIGN.md §4.9): two traces of
+/// the same seeded run — before and after a code or config change — are
+/// compared record by record, and the first diverging event is reported with
+/// context, turning "a study output changed" into "event #N at t=… on site S
+/// differs". Alignment: records are matched positionally for the first-
+/// divergence scan, then keyed by (txn id, event type, per-key occurrence
+/// index) to tell a displaced event (same event, different position or
+/// payload) from one that vanished outright.
+
+struct TraceDiffOptions {
+  /// Records printed on each side of the first diverging index.
+  int context = 3;
+};
+
+/// Outcome of comparing one point block pair.
+struct PointDiff {
+  bool identical = true;
+  /// Index (into the lhs record stream) of the first diverging record; when
+  /// one stream is a strict prefix of the other this is the prefix length.
+  size_t first_divergence = 0;
+  /// Human-readable localization: the diverging records decoded field by
+  /// field, the surrounding context window, and where the lhs event went in
+  /// the rhs stream (displaced / payload-changed / absent). Empty when
+  /// identical.
+  std::string summary;
+};
+
+/// Compares two decoded point blocks. Header fields that affect alignment
+/// (record counts) are reconciled through the record scan itself; identity
+/// fields (protocol, seed, x) merely annotate the summary when they differ.
+PointDiff DiffPoint(const trace::PointTrace& a, const trace::PointTrace& b,
+                    const TraceDiffOptions& opt = {});
+
+/// Outcome of comparing two trace files point by point (by point index).
+struct TraceDiff {
+  bool identical = true;
+  /// Index of the first differing point block, -1 when identical.
+  int first_point = -1;
+  /// The first differing point's story (plus a note when the files hold
+  /// different point counts).
+  std::string summary;
+  /// Per-point outcomes for the points both files hold.
+  std::vector<PointDiff> points;
+};
+
+TraceDiff DiffTraceFiles(const trace::TraceFile& a, const trace::TraceFile& b,
+                         const TraceDiffOptions& opt = {});
+
+/// "submit", "read", ... "submit_op" — the EventType vocabulary, shared by
+/// the diff formatter and the tools.
+const char* EventTypeName(uint8_t type);
+
+}  // namespace lazyrep::replay
+
+#endif  // LAZYREP_REPLAY_TRACE_DIFF_H_

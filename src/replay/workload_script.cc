@@ -1,0 +1,144 @@
+#include "replay/workload_script.h"
+
+#include <unordered_map>
+#include <utility>
+
+#include "sim/check.h"
+
+namespace lazyrep::replay {
+
+bool WorkloadScript::FromPoint(const trace::PointTrace& pt,
+                               uint32_t trace_version, WorkloadScript* out,
+                               std::string* error) {
+  auto fail = [error](std::string why) {
+    if (error != nullptr) *error = std::move(why);
+    return false;
+  };
+  if (trace_version < 2) {
+    return fail("trace version " + std::to_string(trace_version) +
+                " predates the op-level access set (kSubmitOp, v2); "
+                "re-capture with --trace to replay");
+  }
+  if (pt.header.num_sites == 0) {
+    return fail("point " + std::to_string(pt.header.point_index) +
+                " has no sites");
+  }
+  out->num_sites_ = static_cast<int>(pt.header.num_sites);
+  out->total_ = 0;
+  out->seed_ = pt.header.seed;
+  out->protocol_ = pt.header.protocol;
+  out->x_ = pt.header.x;
+  out->per_site_.assign(out->num_sites_, {});
+
+  // Where each submitted txn's ScriptTxn lives, plus the op count its
+  // kSubmit announced. kSubmitOp records follow their kSubmit contiguously
+  // in the emission order, but keying by txn id keeps the extraction robust
+  // to any interleaving a future emitter might produce.
+  struct Open {
+    db::SiteId site = 0;
+    size_t index = 0;
+    uint64_t announced_ops = 0;
+  };
+  std::unordered_map<uint64_t, Open> open;
+  for (const trace::Record& r : pt.records) {
+    if (r.type == static_cast<uint8_t>(trace::EventType::kSubmit)) {
+      if (r.site >= pt.header.num_sites) {
+        return fail("submit record of txn " + std::to_string(r.txn) +
+                    " at non-site endpoint " + std::to_string(r.site));
+      }
+      std::vector<ScriptTxn>& seq = out->per_site_[r.site];
+      ScriptTxn st;
+      st.submit_time = r.time;
+      st.is_update = (r.flags & trace::kFlagUpdate) != 0;
+      st.ops.reserve(r.aux);
+      seq.push_back(std::move(st));
+      open[r.txn] = Open{r.site, seq.size() - 1, r.aux};
+      ++out->total_;
+    } else if (r.type == static_cast<uint8_t>(trace::EventType::kSubmitOp)) {
+      auto it = open.find(r.txn);
+      if (it == open.end()) {
+        return fail("kSubmitOp of txn " + std::to_string(r.txn) +
+                    " precedes its kSubmit");
+      }
+      db::Operation op;
+      op.item = r.item;
+      op.type = (r.aux & 1) != 0 ? db::OpType::kWrite : db::OpType::kRead;
+      out->per_site_[it->second.site][it->second.index].ops.push_back(op);
+    }
+  }
+  if (out->total_ == 0) {
+    return fail("point " + std::to_string(pt.header.point_index) +
+                " recorded no submissions; nothing to replay");
+  }
+  for (const std::vector<ScriptTxn>& seq : out->per_site_) {
+    for (const ScriptTxn& st : seq) {
+      if (st.submit_time > out->last_submit_time_) {
+        out->last_submit_time_ = st.submit_time;
+      }
+    }
+  }
+  for (const auto& [txn, o] : open) {
+    const ScriptTxn& st = out->per_site_[o.site][o.index];
+    if (st.ops.size() != o.announced_ops) {
+      return fail("txn " + std::to_string(txn) + " announced " +
+                  std::to_string(o.announced_ops) + " ops but recorded " +
+                  std::to_string(st.ops.size()) +
+                  " kSubmitOp records — truncated or pre-v2 capture");
+    }
+  }
+  return true;
+}
+
+core::WorkloadSource::Arrival ScriptWorkload::NextArrival(
+    db::SiteId s, sim::RandomStream* /*rng*/) {
+  const std::vector<ScriptTxn>& seq = script_->site(s);
+  if (cursor_[s] >= seq.size()) return Arrival{};
+  return Arrival{true, seq[cursor_[s]].submit_time, /*absolute=*/true};
+}
+
+txn::Transaction ScriptWorkload::NextTxn(db::TxnId id, db::SiteId s,
+                                         sim::RandomStream* /*rng*/) {
+  const std::vector<ScriptTxn>& seq = script_->site(s);
+  LAZYREP_CHECK(cursor_[s] < seq.size());
+  const ScriptTxn& st = seq[cursor_[s]++];
+  txn::Transaction t;
+  t.id = id;
+  t.origin = s;
+  t.is_update = st.is_update;
+  t.ops = st.ops;
+  t.RebuildAccessSets();
+  return t;
+}
+
+core::SystemConfig MakeReplayConfig(const WorkloadScript& script,
+                                    core::SystemConfig base, bool keep_seed) {
+  base.num_sites = script.num_sites();
+  base.workload.num_sites = script.num_sites();
+  base.total_txns = script.total_submissions();
+  if (!keep_seed) base.seed = script.seed();
+  // The script dictates the offered load; base.tps only feeds the Poisson
+  // generator a replay never consults, so pin it to the script's effective
+  // rate purely so the printed/CSV "TPS offered" is honest.
+  if (script.last_submit_time() > 0) {
+    base.tps = static_cast<double>(script.total_submissions()) /
+               script.last_submit_time();
+  }
+  base.Normalize();
+  return base;
+}
+
+core::RunSpec MakeReplaySpec(std::shared_ptr<const WorkloadScript> script,
+                             const core::SystemConfig& base,
+                             core::ProtocolKind kind, double x,
+                             bool keep_seed) {
+  core::RunSpec spec;
+  spec.config = MakeReplayConfig(*script, base, keep_seed);
+  spec.protocol = kind;
+  spec.x = x;
+  spec.make_workload = [script]() -> std::unique_ptr<core::WorkloadSource> {
+    return std::make_unique<ScriptWorkload>(script);
+  };
+  return spec;
+}
+
+}  // namespace lazyrep::replay

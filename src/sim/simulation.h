@@ -48,6 +48,25 @@ class Simulation {
   };
   DelayAwaiter Delay(SimTime dt) { return DelayAwaiter{this, dt}; }
 
+  /// Awaitable that suspends the current process until the absolute
+  /// simulated instant `at` (an already-passed instant resumes at the
+  /// current time, after already-queued same-time events). Trace replay
+  /// schedules recorded submission times through this rather than
+  /// re-accumulated Delay() deltas, which would drift from the recorded
+  /// doubles by ulps.
+  struct DelayUntilAwaiter {
+    Simulation* sim;
+    SimTime at;
+    bool await_ready() const noexcept { return false; }
+    void await_suspend(std::coroutine_handle<> h) {
+      sim->events_.ScheduleResume(at < sim->now_ ? sim->now_ : at, h);
+    }
+    void await_resume() const noexcept {}
+  };
+  DelayUntilAwaiter DelayUntil(SimTime at) {
+    return DelayUntilAwaiter{this, at};
+  }
+
   /// Schedules `handle` to resume at absolute time `t` (>= Now()).
   EventId ScheduleResumeAt(SimTime t, std::coroutine_handle<> handle) {
     return events_.ScheduleResume(t, handle);

@@ -14,7 +14,13 @@ namespace lazyrep::trace {
 /// machine that produced it, not an interchange format.
 
 inline constexpr char kTraceMagic[8] = {'L', 'Z', 'T', 'R', 'A', 'C', 'E', 0};
-inline constexpr uint32_t kTraceVersion = 1;
+/// v1: PR 8 capture (lifecycle events only). v2 adds kSubmitOp — the
+/// op-level read/write set of every submitted transaction — which makes a
+/// trace replayable (src/replay/). The layout of existing structs and
+/// records is unchanged; the version only widens the valid record types.
+inline constexpr uint32_t kTraceVersion = 2;
+/// Oldest version the reader still accepts.
+inline constexpr uint32_t kMinTraceVersion = 1;
 inline constexpr uint32_t kPointMarker = 0x504f494e;  // "POIN"
 
 /// Per-transaction lifecycle events. The numeric values are part of the
@@ -33,8 +39,14 @@ enum class EventType : uint8_t {
   kCommitItem = 10, ///< one per write-set item of a committed txn
   kAbort = 11,      ///< abort decision; aux = txn::AbortCause
   kComplete = 12,   ///< all replicas installed; txn left the system
+  kSubmitOp = 13,   ///< v2+: one per operation of a submitted txn, emitted
+                    ///< right after its kSubmit in op order: item, aux bit 0
+                    ///< = write op. With kSubmit these records make the
+                    ///< trace a replayable workload script (src/replay/).
 };
-inline constexpr uint8_t kMaxEventType = 12;
+inline constexpr uint8_t kMaxEventType = 13;
+/// Highest record type a v1 file may contain (v2 added kSubmitOp).
+inline constexpr uint8_t kMaxEventTypeV1 = 12;
 
 // Record.flags for lifecycle events (kLockGrant/kLockDeny carry the lock
 // mode instead — the lock manager knows neither measurement state).

@@ -50,9 +50,10 @@ bool ReadTraceFile(const std::string& path, TraceFile* out,
     if (std::memcmp(h.magic, kTraceMagic, sizeof(h.magic)) != 0) {
       return Fail(error, "bad magic: not a lazyrep trace file");
     }
-    if (h.version != kTraceVersion) {
+    if (h.version < kMinTraceVersion || h.version > kTraceVersion) {
       return Fail(error, "unsupported trace version " +
-                             std::to_string(h.version) + " (want " +
+                             std::to_string(h.version) + " (supported " +
+                             std::to_string(kMinTraceVersion) + ".." +
                              std::to_string(kTraceVersion) + ")");
     }
     if (h.record_bytes != sizeof(Record)) {
@@ -89,8 +90,12 @@ bool ReadTraceFile(const std::string& path, TraceFile* out,
                     pt.header.record_count * sizeof(Record))) {
         return Fail(error, At("truncated record block", p));
       }
+      // A v1 file must not contain record types v2 introduced: a stray
+      // kSubmitOp in an old capture is corruption, not forward data.
+      const uint8_t max_type =
+          h.version >= 2 ? kMaxEventType : kMaxEventTypeV1;
       for (const Record& r : pt.records) {
-        if (r.type == 0 || r.type > kMaxEventType) {
+        if (r.type == 0 || r.type > max_type) {
           return Fail(error, At("unknown record type", p));
         }
         if (pt.header.num_sites > 0 && r.site >= pt.header.num_sites &&

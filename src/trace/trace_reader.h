@@ -29,6 +29,16 @@ struct TraceFile {
 bool ReadTraceFile(const std::string& path, TraceFile* out,
                    std::string* error);
 
+/// Total records across every point block. A structurally valid file can
+/// still be vacuous (no points, or points that captured nothing); consumers
+/// that summarize a trace should refuse such a file rather than print
+/// statistics of an empty sample.
+inline uint64_t TotalRecords(const TraceFile& file) {
+  uint64_t n = 0;
+  for (const PointTrace& pt : file.points) n += pt.records.size();
+  return n;
+}
+
 }  // namespace lazyrep::trace
 
 #endif  // LAZYREP_TRACE_TRACE_READER_H_

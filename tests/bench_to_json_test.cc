@@ -37,6 +37,44 @@ TEST(BenchToJsonTest, GoldenReportConverts) {
   EXPECT_EQ(out, golden);
 }
 
+TEST(BenchToJsonTest, PairedNestedRunObjectsSurviveVerbatim) {
+  // bench_replay_whatif emits one run object per grid cell pairing the
+  // recorded and replayed runs as nested objects, and indents them for
+  // readability. Nothing may be dropped or flattened: the object must land
+  // in "runs" verbatim (minus the indent), every field intact.
+  const std::string input =
+      "replay-whatif: 8 cells, round trip ok\n"
+      "  {\"workload\":\"oc3\",\"protocol\":\"eager\",\"recorded\":"
+      "{\"tps\":94.2,\"abort_rate\":0.031},\"replayed\":"
+      "{\"tps\":61.0,\"abort_rate\":0.377},\"serializable\":1}\n"
+      "\t{\"workload\":\"geo\",\"protocol\":\"locking\",\"recorded\":"
+      "{\"tps\":88.1},\"replayed\":{\"tps\":79.4},\"serializable\":1}\n"
+      "replay.cells=8\n";
+  const std::string golden =
+      "{\n"
+      "  \"replay.cells\": 8,\n"
+      "  \"runs\": [\n"
+      "    {\"workload\":\"oc3\",\"protocol\":\"eager\",\"recorded\":"
+      "{\"tps\":94.2,\"abort_rate\":0.031},\"replayed\":"
+      "{\"tps\":61.0,\"abort_rate\":0.377},\"serializable\":1},\n"
+      "    {\"workload\":\"geo\",\"protocol\":\"locking\",\"recorded\":"
+      "{\"tps\":88.1},\"replayed\":{\"tps\":79.4},\"serializable\":1}\n"
+      "  ]\n"
+      "}\n";
+  std::string out, error;
+  ASSERT_TRUE(ConvertBenchReport(input, &out, &error)) << error;
+  EXPECT_EQ(out, golden);
+}
+
+TEST(BenchToJsonTest, IndentedMalformedRunObjectStillRejected) {
+  // The indent tolerance must not reopen the silent-drop hole: a truncated
+  // object is an error whether or not it is indented.
+  std::string out, error;
+  EXPECT_FALSE(ConvertBenchReport("  {\"schedule\":0,\"proto\n", &out,
+                                  &error));
+  EXPECT_NE(error.find("malformed run object"), std::string::npos) << error;
+}
+
 TEST(BenchToJsonTest, KeyValueOnlyReportHasNoRunsArray) {
   std::string out, error;
   ASSERT_TRUE(ConvertBenchReport("a=1\nb=two\n", &out, &error)) << error;

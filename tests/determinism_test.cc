@@ -132,7 +132,9 @@ TEST(TraceDeterminism, GoldenTraceFingerprint) {
   char got[32];
   std::snprintf(got, sizeof(got), "%016llx",
                 (unsigned long long)Fnv1a(bytes));
-  EXPECT_STREQ(got, "a27fd035de8149a8");
+  // Regenerated for format v2: every kSubmit is now followed by its
+  // kSubmitOp access-set records (the replayable workload script).
+  EXPECT_STREQ(got, "719e7347bb1e3344");
   std::remove(path.c_str());
 }
 

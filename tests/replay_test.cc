@@ -1,0 +1,314 @@
+// Replay fidelity contract for the src/replay/ engine (DESIGN.md §4.9).
+//
+// The heart of the guarantee: a workload script extracted from a --trace
+// capture, replayed under the same protocol / topology / seed, reproduces
+// the original run EXACTLY — same MetricsSnapshot bit for bit (hex-float
+// fingerprints), same serializability verdict, and a byte-identical event
+// stream in its own trace — at any --jobs level. With that floor pinned,
+// what-if replays (same script, different protocol or topology) are
+// meaningful: every behavioral difference is attributable to the changed
+// knob, never to workload re-sampling.
+
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/config.h"
+#include "core/study.h"
+#include "replay/trace_diff.h"
+#include "replay/workload_script.h"
+#include "trace/trace_reader.h"
+
+namespace lazyrep {
+namespace {
+
+const std::vector<core::ProtocolKind> kAll = {
+    core::ProtocolKind::kLocking, core::ProtocolKind::kPessimistic,
+    core::ProtocolKind::kOptimistic, core::ProtocolKind::kEager};
+
+core::SystemConfig SmallConfig() {
+  core::SystemConfig c;
+  c.num_sites = 4;
+  c.workload.items_per_site = 12;
+  c.tps = 80;
+  c.total_txns = 300;
+  c.warmup_per_site = 2;
+  c.seed = core::DerivePointSeed("replay-fidelity",
+                                 core::ProtocolKind::kOptimistic, 80, 41);
+  c.Normalize();
+  return c;
+}
+
+/// Hex-float fingerprint over a broad slice of the snapshot: %a for floats,
+/// so equality is bit-exactness, not approximation.
+std::string Fp(const core::MetricsSnapshot& m) {
+  char buf[1024];
+  std::snprintf(
+      buf, sizeof(buf),
+      "%llu|%llu|%llu|%llu|%a|%a|%a|%a|%a|%a|%a|%a|%a|%a|%llu|%llu|%llu|%llu|"
+      "%llu|%llu|%d",
+      (unsigned long long)m.submitted, (unsigned long long)m.committed,
+      (unsigned long long)m.completed, (unsigned long long)m.aborted,
+      m.completed_tps, m.abort_rate, m.duration, m.read_only_response.Mean(),
+      m.update_response.Mean(), m.commit_to_complete.Mean(),
+      m.read_only_quantiles.P95(), m.update_quantiles.P95(),
+      m.graph_cpu_utilization, m.mean_network_utilization,
+      (unsigned long long)m.lock_waits, (unsigned long long)m.lock_timeouts,
+      (unsigned long long)m.graph_tests, (unsigned long long)m.graph_rejections,
+      (unsigned long long)m.in_flight_at_end,
+      (unsigned long long)m.retransmissions, m.serializable);
+  return buf;
+}
+
+/// Records one traced run and hands back its snapshot and decoded trace.
+void Capture(const core::RunSpec& spec, const std::string& path, int jobs,
+             core::MetricsSnapshot* snap, trace::TraceFile* file) {
+  std::vector<core::MetricsSnapshot> snaps =
+      core::RunAll({spec}, jobs, /*check_serializability=*/true, {},
+                   /*post_run_audit=*/false, path);
+  ASSERT_EQ(snaps.size(), 1u);
+  *snap = snaps[0];
+  std::string error;
+  ASSERT_TRUE(trace::ReadTraceFile(path, file, &error)) << error;
+  ASSERT_EQ(file->points.size(), 1u);
+}
+
+/// Extracts the script of `file`'s only point, asserting success.
+void Extract(const trace::TraceFile& file,
+             std::shared_ptr<replay::WorkloadScript>* out) {
+  auto script = std::make_shared<replay::WorkloadScript>();
+  std::string error;
+  ASSERT_TRUE(replay::WorkloadScript::FromPoint(
+      file.points[0], file.header.version, script.get(), &error))
+      << error;
+  *out = script;
+}
+
+void ExpectSameSchedule(const replay::WorkloadScript& a,
+                        const replay::WorkloadScript& b) {
+  ASSERT_EQ(a.num_sites(), b.num_sites());
+  ASSERT_EQ(a.total_submissions(), b.total_submissions());
+  for (int s = 0; s < a.num_sites(); ++s) {
+    const std::vector<replay::ScriptTxn>& sa = a.site(s);
+    const std::vector<replay::ScriptTxn>& sb = b.site(s);
+    ASSERT_EQ(sa.size(), sb.size()) << "site " << s;
+    for (size_t i = 0; i < sa.size(); ++i) {
+      EXPECT_EQ(sa[i].submit_time, sb[i].submit_time) << s << "/" << i;
+      EXPECT_EQ(sa[i].is_update, sb[i].is_update) << s << "/" << i;
+      ASSERT_EQ(sa[i].ops.size(), sb[i].ops.size()) << s << "/" << i;
+      for (size_t k = 0; k < sa[i].ops.size(); ++k) {
+        EXPECT_EQ(sa[i].ops[k].item, sb[i].ops[k].item);
+        EXPECT_EQ(sa[i].ops[k].type, sb[i].ops[k].type);
+      }
+    }
+  }
+}
+
+TEST(ReplayTest, RoundTripReproducesRunExactly) {
+  core::SystemConfig config = SmallConfig();
+  std::string rec_path = ::testing::TempDir() + "replay_roundtrip_rec.trace";
+  std::string rep_path = ::testing::TempDir() + "replay_roundtrip_rep.trace";
+
+  core::MetricsSnapshot recorded;
+  trace::TraceFile rec_file;
+  Capture({config, core::ProtocolKind::kOptimistic}, rec_path, 1, &recorded,
+          &rec_file);
+
+  std::shared_ptr<replay::WorkloadScript> script;
+  Extract(rec_file, &script);
+  EXPECT_EQ(script->num_sites(), 4);
+  EXPECT_EQ(script->protocol(),
+            static_cast<uint32_t>(core::ProtocolKind::kOptimistic));
+  EXPECT_EQ(script->seed(), config.seed);
+  EXPECT_GT(script->total_submissions(), 0u);
+  EXPECT_GT(script->last_submit_time(), 0.0);
+
+  core::MetricsSnapshot replayed;
+  trace::TraceFile rep_file;
+  Capture(replay::MakeReplaySpec(script, config,
+                                 core::ProtocolKind::kOptimistic),
+          rep_path, 1, &replayed, &rep_file);
+
+  // The metrics: bit-identical, including the serializability verdict.
+  EXPECT_EQ(Fp(replayed), Fp(recorded));
+  ASSERT_EQ(recorded.serializable, 1);
+
+  // The event stream: the replay's own trace is byte-identical to the
+  // recording — every protocol decision, message, commit, and abort landed
+  // at the same instant in the same order.
+  replay::PointDiff d =
+      replay::DiffPoint(rec_file.points[0], rep_file.points[0]);
+  EXPECT_TRUE(d.identical) << d.summary;
+
+  std::remove(rec_path.c_str());
+  std::remove(rep_path.c_str());
+}
+
+TEST(ReplayTest, ReplayIsJobsInvariant) {
+  core::SystemConfig config = SmallConfig();
+  std::string rec_path = ::testing::TempDir() + "replay_jobs_rec.trace";
+  core::MetricsSnapshot recorded;
+  trace::TraceFile rec_file;
+  Capture({config, core::ProtocolKind::kOptimistic}, rec_path, 1, &recorded,
+          &rec_file);
+  std::shared_ptr<replay::WorkloadScript> script;
+  Extract(rec_file, &script);
+
+  // The full what-if grid, serial vs. four workers: identical snapshots.
+  std::vector<core::RunSpec> specs;
+  for (core::ProtocolKind k : kAll) {
+    specs.push_back(replay::MakeReplaySpec(script, config, k));
+  }
+  std::vector<core::MetricsSnapshot> serial =
+      core::RunAll(specs, /*jobs=*/1, /*check_serializability=*/true);
+  std::vector<core::MetricsSnapshot> parallel =
+      core::RunAll(specs, /*jobs=*/4, /*check_serializability=*/true);
+  ASSERT_EQ(serial.size(), parallel.size());
+  for (size_t i = 0; i < serial.size(); ++i) {
+    EXPECT_EQ(Fp(serial[i]), Fp(parallel[i])) << "spec " << i;
+  }
+  std::remove(rec_path.c_str());
+}
+
+TEST(ReplayTest, WhatIfHoldsWorkloadFixedAcrossProtocols) {
+  core::SystemConfig config = SmallConfig();
+  std::string rec_path = ::testing::TempDir() + "replay_whatif_rec.trace";
+  core::MetricsSnapshot recorded;
+  trace::TraceFile rec_file;
+  Capture({config, core::ProtocolKind::kOptimistic}, rec_path, 1, &recorded,
+          &rec_file);
+  std::shared_ptr<replay::WorkloadScript> script;
+  Extract(rec_file, &script);
+
+  for (core::ProtocolKind k : kAll) {
+    SCOPED_TRACE(core::ProtocolKindName(k));
+    std::string path = ::testing::TempDir() + "replay_whatif_" +
+                       std::to_string(static_cast<int>(k)) + ".trace";
+    core::MetricsSnapshot snap;
+    trace::TraceFile file;
+    Capture(replay::MakeReplaySpec(script, config, k), path, 1, &snap, &file);
+
+    // Every what-if run stays serializable...
+    EXPECT_EQ(snap.serializable, 1) << snap.serializability_why;
+    // ...sees the exact recorded submission schedule (re-extracting the
+    // script from the replay's own trace gives the original back)...
+    std::shared_ptr<replay::WorkloadScript> re;
+    Extract(file, &re);
+    ExpectSameSchedule(*script, *re);
+    // ...and measures the identical transaction population: with schedule
+    // and warm-up fixed, the measured set cannot shift between protocols.
+    EXPECT_EQ(snap.submitted, recorded.submitted);
+    std::remove(path.c_str());
+  }
+  std::remove(rec_path.c_str());
+}
+
+TEST(ReplayTest, ReplayUnderDifferentTopologyAndFaults) {
+  core::SystemConfig config = SmallConfig();
+  std::string rec_path = ::testing::TempDir() + "replay_topo_rec.trace";
+  core::MetricsSnapshot recorded;
+  trace::TraceFile rec_file;
+  Capture({config, core::ProtocolKind::kOptimistic}, rec_path, 1, &recorded,
+          &rec_file);
+  std::shared_ptr<replay::WorkloadScript> script;
+  Extract(rec_file, &script);
+
+  // Same workload, but now the four sites straddle two datacenters over a
+  // slow backbone, with message loss on top: the what-if surface.
+  core::SystemConfig geo = config;
+  geo.topology.kind = net::TopologySpec::Kind::kGeo;
+  geo.topology.datacenters = 2;
+  geo.topology.metros_per_dc = 1;
+  geo.topology.backbone_latency = 0.02;
+  geo.fault.loss_prob = 0.01;
+  std::vector<core::MetricsSnapshot> snaps = core::RunAll(
+      {replay::MakeReplaySpec(script, geo, core::ProtocolKind::kOptimistic)},
+      /*jobs=*/1, /*check_serializability=*/true);
+  ASSERT_EQ(snaps.size(), 1u);
+  EXPECT_EQ(snaps[0].serializable, 1) << snaps[0].serializability_why;
+  EXPECT_GT(snaps[0].completed, 0u);
+  // The harsher environment must actually change behavior — otherwise the
+  // "what-if" ran the baseline again.
+  EXPECT_NE(Fp(snaps[0]), Fp(recorded));
+  std::remove(rec_path.c_str());
+}
+
+TEST(ReplayTest, MakeReplayConfigPinsScriptDictatedFields) {
+  core::SystemConfig config = SmallConfig();
+  std::string rec_path = ::testing::TempDir() + "replay_pins_rec.trace";
+  core::MetricsSnapshot recorded;
+  trace::TraceFile rec_file;
+  Capture({config, core::ProtocolKind::kOptimistic}, rec_path, 1, &recorded,
+          &rec_file);
+  std::shared_ptr<replay::WorkloadScript> script;
+  Extract(rec_file, &script);
+
+  core::SystemConfig base;
+  base.num_sites = 10;      // overridden: the script knows its sites
+  base.total_txns = 99999;  // overridden: freeze at the recorded count
+  base.seed = 777;          // overridden unless keep_seed
+  core::SystemConfig pinned = replay::MakeReplayConfig(*script, base);
+  EXPECT_EQ(pinned.num_sites, script->num_sites());
+  EXPECT_EQ(pinned.total_txns, script->total_submissions());
+  EXPECT_EQ(pinned.seed, script->seed());
+  EXPECT_GT(pinned.tps, 0.0);
+
+  core::SystemConfig kept =
+      replay::MakeReplayConfig(*script, base, /*keep_seed=*/true);
+  EXPECT_EQ(kept.seed, 777u);
+  std::remove(rec_path.c_str());
+}
+
+TEST(ReplayTest, RejectsUnreplayableCaptures) {
+  trace::PointTrace pt;
+  pt.header.point_index = 0;
+  pt.header.num_sites = 2;
+  replay::WorkloadScript script;
+  std::string error;
+
+  // A v1 capture has no kSubmitOp access sets: refuse with a pointer to the
+  // fix (re-capture), not a crash deep inside the run.
+  EXPECT_FALSE(replay::WorkloadScript::FromPoint(pt, 1, &script, &error));
+  EXPECT_NE(error.find("predates"), std::string::npos) << error;
+
+  // A v2 point with no submissions is equally unreplayable.
+  EXPECT_FALSE(replay::WorkloadScript::FromPoint(pt, 2, &script, &error));
+  EXPECT_NE(error.find("no submissions"), std::string::npos) << error;
+
+  // An orphan kSubmitOp (no preceding kSubmit) marks a mangled capture.
+  trace::Record op;
+  op.type = static_cast<uint8_t>(trace::EventType::kSubmitOp);
+  op.txn = 5;
+  pt.records.push_back(op);
+  EXPECT_FALSE(replay::WorkloadScript::FromPoint(pt, 2, &script, &error));
+  EXPECT_NE(error.find("precedes"), std::string::npos) << error;
+
+  // A kSubmit announcing more ops than its kSubmitOp records deliver is a
+  // truncated capture: replaying a partial access set would silently run a
+  // different workload.
+  pt.records.clear();
+  trace::Record sub;
+  sub.type = static_cast<uint8_t>(trace::EventType::kSubmit);
+  sub.txn = 5;
+  sub.site = 1;
+  sub.aux = 3;  // announces 3 ops
+  pt.records.push_back(sub);
+  op.txn = 5;
+  op.item = 7;
+  pt.records.push_back(op);  // delivers only 1
+  EXPECT_FALSE(replay::WorkloadScript::FromPoint(pt, 2, &script, &error));
+  EXPECT_NE(error.find("truncated"), std::string::npos) << error;
+
+  // Submit at a non-site endpoint (the graph site) is a corrupt record.
+  pt.records.clear();
+  sub.site = 2;  // num_sites == 2, so endpoint 2 is the graph site
+  pt.records.push_back(sub);
+  EXPECT_FALSE(replay::WorkloadScript::FromPoint(pt, 2, &script, &error));
+  EXPECT_NE(error.find("non-site"), std::string::npos) << error;
+}
+
+}  // namespace
+}  // namespace lazyrep

@@ -106,6 +106,78 @@ TEST(TopologyTest, GeoShapeAndBlockPlacement) {
   EXPECT_EQ(topo.AncestorAt(aux, 1), Topology::kNoGroup);
 }
 
+// -- degenerate shapes: AncestorAt and the densified datacenter map ----------
+//
+// The trace site map and the replay engine both label sites through
+// DatacenterOrdinals; these shapes are the ones where the depth-1 walk has
+// no step to take (flat star, single site) or only one answer (one-DC geo).
+
+TEST(TopologyTest, AncestorAtOnDegenerateShapes) {
+  NetworkParams params;
+  // Single-site star: the lone endpoint hangs off the root; there is no
+  // depth-1 tier at all.
+  Topology one = Topology::Star(1, params);
+  EXPECT_EQ(one.AncestorAt(0, 0), Topology::kRoot);
+  EXPECT_EQ(one.AncestorAt(0, 1), Topology::kNoGroup);
+
+  // Flat star: same for every endpoint.
+  Topology star = Topology::Star(5, params);
+  for (SiteId s = 0; s < 5; ++s) {
+    EXPECT_EQ(star.AncestorAt(s, 0), Topology::kRoot) << s;
+    EXPECT_EQ(star.AncestorAt(s, 1), Topology::kNoGroup) << s;
+  }
+
+  // One-metro geo (dc=1, metros=1): every site's path is root -> dc0 ->
+  // dc0.m0, so depths 0/1/2 all resolve and deeper queries fall off the end.
+  TopologySpec spec;
+  spec.kind = TopologySpec::Kind::kGeo;
+  spec.datacenters = 1;
+  spec.metros_per_dc = 1;
+  Topology geo = Topology::Geo(spec, 3, params);
+  int dc0 = geo.FindGroup("dc0");
+  int m0 = geo.FindGroup("dc0.m0");
+  ASSERT_NE(dc0, Topology::kNoGroup);
+  ASSERT_NE(m0, Topology::kNoGroup);
+  for (SiteId s = 0; s < 3; ++s) {
+    EXPECT_EQ(geo.AncestorAt(s, 0), Topology::kRoot) << s;
+    EXPECT_EQ(geo.AncestorAt(s, 1), dc0) << s;
+    EXPECT_EQ(geo.AncestorAt(s, 2), m0) << s;
+    EXPECT_EQ(geo.AncestorAt(s, 3), Topology::kNoGroup) << s;
+  }
+}
+
+TEST(TopologyTest, DatacenterOrdinalsDensifyInSiteOrder) {
+  NetworkParams params;
+  // Flat star and the single site: no depth-1 tier, so every site shares
+  // ordinal 0 — a one-"datacenter" world, not an error.
+  EXPECT_EQ(DatacenterOrdinals(Topology::Star(1, params), 1),
+            (std::vector<uint16_t>{0}));
+  EXPECT_EQ(DatacenterOrdinals(Topology::Star(4, params), 4),
+            (std::vector<uint16_t>{0, 0, 0, 0}));
+
+  // One-metro geo: a real dc0 group, still one ordinal for everyone.
+  TopologySpec one_dc;
+  one_dc.kind = TopologySpec::Kind::kGeo;
+  one_dc.datacenters = 1;
+  one_dc.metros_per_dc = 1;
+  EXPECT_EQ(DatacenterOrdinals(Topology::Geo(one_dc, 3, params), 3),
+            (std::vector<uint16_t>{0, 0, 0}));
+
+  // Three DCs, contiguous block placement: ordinals follow site order.
+  TopologySpec three;
+  three.kind = TopologySpec::Kind::kGeo;
+  three.datacenters = 3;
+  three.metros_per_dc = 1;
+  EXPECT_EQ(DatacenterOrdinals(Topology::Geo(three, 6, params), 6),
+            (std::vector<uint16_t>{0, 0, 1, 1, 2, 2}));
+
+  // An auxiliary endpoint past num_sites never enters the map: the map
+  // covers sites only, exactly what the trace header stores.
+  Topology geo = Topology::Geo(three, 6, params);
+  geo.AddAuxEndpoint(AccessEdge(params));
+  EXPECT_EQ(DatacenterOrdinals(geo, 6).size(), 6u);
+}
+
 // -- routed timing on a hand-built two-level tree ----------------------------
 //
 //        root (switch 0.5 s)

@@ -1,0 +1,165 @@
+// Divergence localization contract for replay::DiffPoint/DiffTraceFiles:
+// given two event streams, the diff must (a) stay silent on identical
+// streams, (b) name the exact first diverging record and its differing
+// fields on a payload perturbation, (c) tell a displaced event from a
+// vanished one via the (txn, type, occurrence) key, and (d) handle
+// strict-prefix streams and mismatched point counts without walking off
+// either buffer.
+
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "replay/trace_diff.h"
+#include "trace/trace_format.h"
+#include "trace/trace_reader.h"
+
+namespace lazyrep::replay {
+namespace {
+
+trace::Record MakeRecord(double time, uint64_t txn, trace::EventType type,
+                         uint16_t site, uint32_t item = 0, uint64_t aux = 0) {
+  trace::Record r;
+  r.time = time;
+  r.txn = txn;
+  r.type = static_cast<uint8_t>(type);
+  r.site = site;
+  r.item = item;
+  r.aux = aux;
+  return r;
+}
+
+/// A plausible little stream: two transactions interleaving.
+trace::PointTrace MakePoint() {
+  trace::PointTrace pt;
+  pt.header.point_index = 0;
+  pt.header.protocol = 2;
+  pt.header.seed = 99;
+  pt.header.num_sites = 3;
+  pt.records = {
+      MakeRecord(0.10, 1, trace::EventType::kSubmit, 0, 0, 2),
+      MakeRecord(0.10, 1, trace::EventType::kSubmitOp, 0, 7, 0),
+      MakeRecord(0.10, 1, trace::EventType::kSubmitOp, 0, 9, 1),
+      MakeRecord(0.12, 2, trace::EventType::kSubmit, 1, 0, 1),
+      MakeRecord(0.12, 2, trace::EventType::kSubmitOp, 1, 3, 0),
+      MakeRecord(0.15, 1, trace::EventType::kRead, 0, 7),
+      MakeRecord(0.16, 2, trace::EventType::kRead, 1, 3),
+      MakeRecord(0.20, 1, trace::EventType::kCommit, 0),
+      MakeRecord(0.21, 2, trace::EventType::kCommit, 1),
+      MakeRecord(0.25, 1, trace::EventType::kComplete, 0),
+      MakeRecord(0.26, 2, trace::EventType::kComplete, 1),
+  };
+  return pt;
+}
+
+TEST(TraceDiffTest, IdenticalStreamsDiffClean) {
+  trace::PointTrace a = MakePoint();
+  trace::PointTrace b = MakePoint();
+  PointDiff d = DiffPoint(a, b);
+  EXPECT_TRUE(d.identical);
+  EXPECT_TRUE(d.summary.empty());
+
+  trace::TraceFile fa, fb;
+  fa.points = {a};
+  fb.points = {b};
+  TraceDiff fd = DiffTraceFiles(fa, fb);
+  EXPECT_TRUE(fd.identical);
+  EXPECT_EQ(fd.first_point, -1);
+}
+
+TEST(TraceDiffTest, PayloadPerturbationIsPinpointed) {
+  trace::PointTrace a = MakePoint();
+  trace::PointTrace b = MakePoint();
+  b.records[5].item = 8;  // txn 1's read touched a different item
+
+  PointDiff d = DiffPoint(a, b);
+  ASSERT_FALSE(d.identical);
+  EXPECT_EQ(d.first_divergence, 5u);
+  // The summary names the diverging field, the event type, and the txn.
+  EXPECT_NE(d.summary.find("record #5"), std::string::npos) << d.summary;
+  EXPECT_NE(d.summary.find("fields: item"), std::string::npos) << d.summary;
+  EXPECT_NE(d.summary.find("read"), std::string::npos) << d.summary;
+  EXPECT_NE(d.summary.find("txn=1"), std::string::npos) << d.summary;
+  // Keyed follow-up: same event exists positionally, payload changed.
+  EXPECT_NE(d.summary.find("payload differs"), std::string::npos) << d.summary;
+}
+
+TEST(TraceDiffTest, DeletedEventReportsDisplacement) {
+  trace::PointTrace a = MakePoint();
+  trace::PointTrace b = MakePoint();
+  // Drop txn 2's read from B: everything after shifts left by one.
+  b.records.erase(b.records.begin() + 6);
+
+  PointDiff d = DiffPoint(a, b);
+  ASSERT_FALSE(d.identical);
+  EXPECT_EQ(d.first_divergence, 6u);
+  // A's event at the divergence (txn 2's read) is gone from B outright.
+  EXPECT_NE(d.summary.find("absent from B"), std::string::npos) << d.summary;
+}
+
+TEST(TraceDiffTest, ReorderedEventReportsWhereItWent) {
+  trace::PointTrace a = MakePoint();
+  trace::PointTrace b = MakePoint();
+  // Swap the two commits in B: txn 1's commit is displaced, not absent.
+  std::swap(b.records[7], b.records[8]);
+
+  PointDiff d = DiffPoint(a, b);
+  ASSERT_FALSE(d.identical);
+  EXPECT_EQ(d.first_divergence, 7u);
+  EXPECT_NE(d.summary.find("displaced"), std::string::npos) << d.summary;
+}
+
+TEST(TraceDiffTest, StrictPrefixReportsFirstExtraEvent) {
+  trace::PointTrace a = MakePoint();
+  trace::PointTrace b = MakePoint();
+  b.records.resize(9);  // B stops before the two completes
+
+  PointDiff d = DiffPoint(a, b);
+  ASSERT_FALSE(d.identical);
+  EXPECT_EQ(d.first_divergence, 9u);
+  EXPECT_NE(d.summary.find("B ends, A continues"), std::string::npos)
+      << d.summary;
+  EXPECT_NE(d.summary.find("complete"), std::string::npos) << d.summary;
+}
+
+TEST(TraceDiffTest, HeaderIdentityDifferencesAnnotateNotDiverge) {
+  // Diffing a recording against its replay under another protocol: the
+  // header differs by design; identical records must still diff clean.
+  trace::PointTrace a = MakePoint();
+  trace::PointTrace b = MakePoint();
+  b.header.protocol = 3;
+  b.header.seed = 100;
+  PointDiff d = DiffPoint(a, b);
+  EXPECT_FALSE(d.identical);  // annotated, so not byte-identical...
+  EXPECT_EQ(d.first_divergence, a.records.size());  // ...but no record diverged
+  EXPECT_NE(d.summary.find("note: protocol differs"), std::string::npos);
+  EXPECT_NE(d.summary.find("note: seed differs"), std::string::npos);
+  EXPECT_EQ(d.summary.find("first divergence"), std::string::npos);
+}
+
+TEST(TraceDiffTest, MismatchedPointCountsAreReported) {
+  trace::TraceFile fa, fb;
+  fa.points = {MakePoint(), MakePoint()};
+  fb.points = {MakePoint()};
+  TraceDiff d = DiffTraceFiles(fa, fb);
+  EXPECT_FALSE(d.identical);
+  EXPECT_EQ(d.first_point, 1);
+  EXPECT_NE(d.summary.find("different point counts (2 vs 1)"),
+            std::string::npos)
+      << d.summary;
+}
+
+TEST(TraceDiffTest, EventTypeNamesCoverTheVocabulary) {
+  EXPECT_STREQ(EventTypeName(
+                   static_cast<uint8_t>(trace::EventType::kSubmit)),
+               "submit");
+  EXPECT_STREQ(EventTypeName(
+                   static_cast<uint8_t>(trace::EventType::kSubmitOp)),
+               "submit_op");
+  EXPECT_STREQ(EventTypeName(trace::kMaxEventType), "submit_op");
+  EXPECT_STREQ(EventTypeName(trace::kMaxEventType + 1), "unknown");
+}
+
+}  // namespace
+}  // namespace lazyrep::replay

@@ -266,6 +266,82 @@ TEST_F(TraceCorruptionTest, TrailingBytesAreRejected) {
   ExpectRejected(bytes_ + "junk", "trailing bytes");
 }
 
+// -- version compatibility ----------------------------------------------------
+
+/// Builds a valid on-disk trace whose record types all predate v2 (no
+/// kSubmitOp), then patches the header's version byte — synthesizing the
+/// bytes a v1-era writer produced.
+std::string MakeVersionedBytes(uint8_t version) {
+  std::string path = TmpPath("versioned");
+  PointMeta meta;
+  meta.point_index = 0;
+  meta.protocol = 1;
+  meta.seed = 5;
+  meta.dc_of_site = {0, 0, 1};
+  std::string error;
+  auto sink = TraceSink::Open(ShardPath(path, 0), meta, &error);
+  EXPECT_NE(sink, nullptr) << error;
+  uint64_t s = 3;
+  for (int k = 0; k < 25; ++k) {
+    Record r = RandomRecord(&s, 3);
+    r.type = static_cast<uint8_t>(1 + (r.type % kMaxEventTypeV1));
+    sink->Emit(static_cast<EventType>(r.type), r.time, r.txn, r.site, r.flags,
+               r.item, r.aux, r.aux_time);
+  }
+  EXPECT_TRUE(sink->Finish(&error)) << error;
+  EXPECT_TRUE(MergeShards(path, {ShardPath(path, 0)}, &error)) << error;
+  std::string bytes = ReadAll(path);
+  std::remove(path.c_str());
+  bytes[offsetof(FileHeader, version)] = static_cast<char>(version);
+  return bytes;
+}
+
+TEST(TraceVersionTest, V1FilesStillRead) {
+  // Format v2 appended kSubmitOp; the reader must keep accepting v1-era
+  // captures (their record vocabulary is a strict subset).
+  std::string path = TmpPath("v1_compat");
+  WriteAll(path, MakeVersionedBytes(1));
+  TraceFile file;
+  std::string error;
+  ASSERT_TRUE(ReadTraceFile(path, &file, &error)) << error;
+  EXPECT_EQ(file.header.version, 1u);
+  ASSERT_EQ(file.points.size(), 1u);
+  EXPECT_EQ(file.points[0].records.size(), 25u);
+  EXPECT_EQ(TotalRecords(file), 25u);
+  std::remove(path.c_str());
+}
+
+TEST(TraceVersionTest, SubmitOpInsideV1IsRejected) {
+  // A v1 header claiming v2 vocabulary is a lie about the writer: the
+  // per-version type bound must catch it.
+  std::string bytes = MakeVersionedBytes(1);
+  size_t first_record = sizeof(FileHeader) + sizeof(PointHeader) +
+                        3 * sizeof(uint16_t);  // 3-site dc map
+  bytes[first_record + offsetof(Record, type)] =
+      static_cast<char>(EventType::kSubmitOp);
+  ExpectRejected(bytes, "unknown record type");
+}
+
+TEST(TraceVersionTest, VersionZeroAndFutureVersionsAreRejected) {
+  ExpectRejected(MakeVersionedBytes(0), "unsupported trace version");
+  ExpectRejected(MakeVersionedBytes(kTraceVersion + 1),
+                 "unsupported trace version");
+}
+
+TEST(TraceVersionTest, TotalRecordsSpotsVacuousFiles) {
+  // Structurally valid, semantically empty: two point blocks that captured
+  // nothing. TotalRecords is how tools distinguish this from a real sample.
+  std::string path = TmpPath("vacuous");
+  std::vector<std::vector<Record>> emitted;
+  WriteTrace(path, {0, 0}, 13, &emitted);
+  TraceFile file;
+  std::string error;
+  ASSERT_TRUE(ReadTraceFile(path, &file, &error)) << error;
+  EXPECT_EQ(file.points.size(), 2u);
+  EXPECT_EQ(TotalRecords(file), 0u);
+  std::remove(path.c_str());
+}
+
 TEST_F(TraceCorruptionTest, IntactFileStillReads) {
   // The fixture bytes themselves must be valid, or the cases above pass
   // for the wrong reason.

@@ -78,16 +78,23 @@ bool ConvertBenchReport(const std::string& input, std::string* out,
                                                               : nl - pos);
     pos = nl == std::string::npos ? input.size() : nl + 1;
     while (!s.empty() && (s.back() == '\n' || s.back() == '\r')) s.pop_back();
-    if (!s.empty() && s.front() == '{') {
-      if (!LooksLikeRunObject(s)) {
+    // Run objects may arrive indented (benches that pretty-print their
+    // stdout, or reports pasted through a shell heredoc); strip the leading
+    // whitespace before deciding, so such lines aren't silently dropped as
+    // prose. key=value matching below stays on the untrimmed line: an
+    // indented "key=value" really is prose quoting a field.
+    size_t ws = s.find_first_not_of(" \t");
+    if (ws != std::string::npos && s[ws] == '{') {
+      std::string obj = s.substr(ws);
+      if (!LooksLikeRunObject(obj)) {
         if (error != nullptr) {
           char buf[64];
           std::snprintf(buf, sizeof(buf), "line %zu: ", line_no);
-          *error = std::string(buf) + "malformed run object: " + s;
+          *error = std::string(buf) + "malformed run object: " + obj;
         }
         return false;
       }
-      runs.push_back(std::move(s));
+      runs.push_back(std::move(obj));
       continue;
     }
     size_t eq = s.find('=');
@@ -119,8 +126,8 @@ bool ConvertBenchReport(const std::string& input, std::string* out,
     o += "  \"runs\": [\n";
     for (size_t i = 0; i < runs.size(); ++i) {
       o += "    ";
-    o += runs[i];
-    o += i + 1 < runs.size() ? ",\n" : "\n";
+      o += runs[i];
+      o += i + 1 < runs.size() ? ",\n" : "\n";
     }
     o += "  ]\n";
   }

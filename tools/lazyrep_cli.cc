@@ -14,6 +14,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <memory>
 #include <string>
 #include <sys/stat.h>
 #include <vector>
@@ -21,6 +22,8 @@
 #include "core/config.h"
 #include "core/study.h"
 #include "core/system.h"
+#include "replay/workload_script.h"
+#include "trace/trace_reader.h"
 
 using namespace lazyrep;
 
@@ -63,6 +66,16 @@ void PrintHelp() {
       "                                  replay their WAL on recovery\n"
       "  --checkpoint-interval=SEC       fuzzy checkpoint period (amnesia)\n"
       "  --retries=N --rto=SEC           reliable-messaging retry policy\n"
+      "replay (what-if re-execution of a captured workload)\n"
+      "  --replay=FILE                   re-run the exact workload recorded in\n"
+      "                                  a --trace capture: same submission\n"
+      "                                  instants, op lists, and per-site\n"
+      "                                  order. sites/txns/seed come from the\n"
+      "                                  recording; --protocol, --topology,\n"
+      "                                  faults etc. still apply (defaults:\n"
+      "                                  the recorded protocol; --seed keeps\n"
+      "                                  an explicit seed override)\n"
+      "  --replay-point=N                which point block of FILE (default 0)\n"
       "output\n"
       "  --csv=FILE                      append a machine-readable row\n"
       "  --trace=FILE                    record per-transaction event traces\n"
@@ -127,6 +140,10 @@ int main(int argc, char** argv) {
       core::ProtocolKind::kOptimistic};
   std::string csv_path;
   std::string trace_path;
+  std::string replay_path;
+  int replay_point = 0;
+  bool protocol_set = false;  // replay defaults to the recorded protocol
+  bool seed_set = false;      // replay keeps an explicit --seed override
   bool check_serializability = false;
   bool quiet = false;
   int jobs = 1;  // serial by default; --jobs=0 means all cores
@@ -138,6 +155,7 @@ int main(int argc, char** argv) {
       PrintHelp();
       return 0;
     } else if (FlagValue(a, "--protocol", &v)) {
+      protocol_set = true;
       protocols.clear();
       if (std::strcmp(v, "locking") == 0) {
         protocols.push_back(core::ProtocolKind::kLocking);
@@ -204,6 +222,7 @@ int main(int argc, char** argv) {
       config.graph.wait_timeout = config.timeout;
     } else if (FlagValue(a, "--seed", &v)) {
       config.seed = std::strtoull(v, nullptr, 10);
+      seed_set = true;
     } else if (FlagValue(a, "--replication-degree", &v)) {
       config.replication_degree = std::atoi(v);
     } else if (FlagValue(a, "--gatekeeper", &v)) {
@@ -289,6 +308,10 @@ int main(int argc, char** argv) {
       csv_path = v;
     } else if (FlagValue(a, "--trace", &v)) {
       trace_path = v;
+    } else if (FlagValue(a, "--replay", &v)) {
+      replay_path = v;
+    } else if (FlagValue(a, "--replay-point", &v)) {
+      replay_point = std::atoi(v);
     } else if (FlagValue(a, "--jobs", &v)) {
       jobs = std::atoi(v);
       if (jobs <= 0) jobs = 0;  // 0 = hardware_concurrency
@@ -300,6 +323,41 @@ int main(int argc, char** argv) {
       std::fprintf(stderr, "unknown flag %s (try --help)\n", a);
       return 1;
     }
+  }
+  std::shared_ptr<const replay::WorkloadScript> script;
+  if (!replay_path.empty()) {
+    trace::TraceFile file;
+    std::string error;
+    if (!trace::ReadTraceFile(replay_path, &file, &error)) {
+      std::fprintf(stderr, "cannot replay %s: %s\n", replay_path.c_str(),
+                   error.c_str());
+      return 1;
+    }
+    if (replay_point < 0 ||
+        static_cast<size_t>(replay_point) >= file.points.size()) {
+      std::fprintf(stderr, "--replay-point=%d out of range: %s holds %zu "
+                   "point block(s)\n", replay_point, replay_path.c_str(),
+                   file.points.size());
+      return 1;
+    }
+    auto parsed = std::make_shared<replay::WorkloadScript>();
+    if (!replay::WorkloadScript::FromPoint(file.points[replay_point],
+                                           file.header.version, parsed.get(),
+                                           &error)) {
+      std::fprintf(stderr, "cannot replay %s point %d: %s\n",
+                   replay_path.c_str(), replay_point, error.c_str());
+      return 1;
+    }
+    script = parsed;
+    if (!protocol_set) {
+      if (script->protocol() >= 4) {
+        std::fprintf(stderr, "recorded protocol id %u is unknown; pick one "
+                     "with --protocol\n", script->protocol());
+        return 1;
+      }
+      protocols = {static_cast<core::ProtocolKind>(script->protocol())};
+    }
+    config = replay::MakeReplayConfig(*script, config, /*keep_seed=*/seed_set);
   }
   // Validate fault specs against the topology System will build (sites plus
   // the auxiliary graph endpoint) for a friendly error instead of the
@@ -317,7 +375,12 @@ int main(int argc, char** argv) {
   std::vector<core::RunSpec> specs;
   specs.reserve(protocols.size());
   for (core::ProtocolKind kind : protocols) {
-    specs.push_back({config, kind});
+    if (script != nullptr) {
+      specs.push_back(replay::MakeReplaySpec(script, config, kind,
+                                             script->x(), seed_set));
+    } else {
+      specs.push_back({config, kind});
+    }
   }
   std::vector<core::MetricsSnapshot> snaps =
       core::RunAll(specs, jobs, check_serializability, {},

@@ -197,6 +197,22 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "lazyrep_trace: %s\n", error.c_str());
     return 2;
   }
+  // A structurally valid file can still have captured nothing (e.g. a run
+  // traced with warm-up covering every transaction, or an aborted recording).
+  // Summarizing an empty sample would print all-zero statistics that look
+  // like a real result; refuse instead.
+  if (file.points.empty()) {
+    std::fprintf(stderr, "lazyrep_trace: %s holds no point blocks\n",
+                 path.c_str());
+    return 2;
+  }
+  if (lazyrep::trace::TotalRecords(file) == 0) {
+    std::fprintf(stderr,
+                 "lazyrep_trace: %s holds %zu point block(s) but zero event "
+                 "records — nothing to analyze\n",
+                 path.c_str(), file.points.size());
+    return 2;
+  }
 
   int violations = 0;
   if (json) std::printf("{\n  \"runs\": [\n");
