@@ -34,6 +34,7 @@ int main(int argc, char** argv) {
       c.tps = kTps;
       c.total_txns = opt.txns;
       c.seed = opt.seed;
+      c.kernel_threads = opt.kernel_threads;
       c.graph.queue_bound = bound;
       specs.push_back({c, kind});
       bounds.push_back(bound);

@@ -62,6 +62,7 @@ int main(int argc, char** argv) {
     c.tps = tps;
     c.total_txns = opt.txns;
     c.seed = opt.seed;
+    opt.Apply(&c);
     return c;
   });
   oc3.set_protocols(opt.protocols);
@@ -77,6 +78,7 @@ int main(int argc, char** argv) {
     c.tps = tps;
     c.total_txns = opt.txns;
     c.seed = opt.seed;
+    opt.Apply(&c);
     return c;
   });
   oc1.set_protocols(opt.protocols);
@@ -94,6 +96,7 @@ int main(int argc, char** argv) {
     c.workload.read_only_fraction = 1.0 - update_fraction;
     c.total_txns = opt.txns;
     c.seed = opt.seed;
+    opt.Apply(&c);
     return c;
   });
   mix.set_protocols(opt.protocols);

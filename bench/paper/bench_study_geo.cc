@@ -98,7 +98,9 @@ int main(int argc, char** argv) {
 
   // -- G1-G3: backbone latency sweep ------------------------------------------
   core::StudyRunner runner("geo-backbone", [&](double bb_lat) {
-    return GeoConfig(bb_lat, opt.txns, opt.seed);
+    core::SystemConfig c = GeoConfig(bb_lat, opt.txns, opt.seed);
+    opt.Apply(&c);
+    return c;
   });
   runner.set_protocols(opt.protocols);
   runner.set_jobs(opt.jobs);
@@ -131,7 +133,7 @@ int main(int argc, char** argv) {
     part.at = run_secs / 3;
     part.duration = run_secs / 3;
     c.fault.partitions.push_back(std::move(part));
-    c.Normalize();
+    opt.Apply(&c);
     specs.push_back({c, kind});
   }
   std::vector<core::MetricsSnapshot> part_snaps = core::RunAll(

@@ -20,6 +20,7 @@ int main(int argc, char** argv) {
     c.tps = tps;
     c.total_txns = opt.txns;
     c.seed = opt.seed;
+    opt.Apply(&c);
     return c;
   });
   runner.set_protocols(opt.protocols);

@@ -109,6 +109,14 @@ struct SystemConfig {
   /// Transactions discarded per site as warm-up transients (paper: 5).
   int warmup_per_site = 5;
   uint64_t seed = 1;
+  /// Worker threads of the in-run event kernel (sim::ParallelKernel,
+  /// `--kernel-threads`). The protocol fleet still shares state (completion
+  /// tracker, metrics, replication graph), so a System run executes as one
+  /// protocol-coupled shard: extra workers assemble and park at the kernel
+  /// barrier, and output is byte-identical at any value by construction.
+  /// The flag exercises the full kernel handoff end to end while System
+  /// state sharding lands (ROADMAP). <= 1 runs the loop inline.
+  int kernel_threads = 1;
 
   // -- extensions / ablations ---------------------------------------------------
   /// 0 = full replication (paper). k >= 1: each item is replicated at its

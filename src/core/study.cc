@@ -281,6 +281,9 @@ BenchOptions BenchOptions::Parse(int argc, char** argv) {
   if (const char* env = std::getenv("LAZYREP_JOBS")) {
     opt.jobs = std::atoi(env);
   }
+  if (const char* env = std::getenv("LAZYREP_KERNEL_THREADS")) {
+    opt.kernel_threads = std::atoi(env);
+  }
   for (int i = 1; i < argc; ++i) {
     const char* a = argv[i];
     if (std::strncmp(a, "--txns=", 7) == 0) {
@@ -293,6 +296,10 @@ BenchOptions BenchOptions::Parse(int argc, char** argv) {
       opt.seed = std::strtoull(a + 7, nullptr, 10);
     } else if (std::strncmp(a, "--jobs=", 7) == 0) {
       opt.jobs = std::atoi(a + 7);
+    } else if (std::strncmp(a, "--kernel-threads=", 17) == 0) {
+      opt.kernel_threads = std::atoi(a + 17);
+    } else if (std::strncmp(a, "--sites=", 8) == 0) {
+      opt.sites = std::atoi(a + 8);
     } else if (std::strcmp(a, "--quick") == 0) {
       opt.quick = true;
     } else if (std::strncmp(a, "--trace=", 8) == 0) {
@@ -314,12 +321,19 @@ BenchOptions BenchOptions::Parse(int argc, char** argv) {
     } else if (std::strcmp(a, "--help") == 0) {
       std::printf(
           "options: --txns=N --points=N --figure=N --seed=N --jobs=N "
-          "--quick --protocols=[lpoe] --trace=FILE\n");
+          "--kernel-threads=N --sites=N --quick --protocols=[lpoe] "
+          "--trace=FILE\n");
       std::exit(0);
     }
   }
   if (opt.quick && opt.max_points == 0) opt.max_points = 3;
   return opt;
+}
+
+void BenchOptions::Apply(SystemConfig* config) const {
+  if (sites > 0) config->num_sites = sites;
+  config->kernel_threads = kernel_threads;
+  config->Normalize();
 }
 
 std::vector<double> BenchOptions::Thin(std::vector<double> xs) const {

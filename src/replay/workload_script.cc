@@ -1,5 +1,6 @@
 #include "replay/workload_script.h"
 
+#include <cstdio>
 #include <unordered_map>
 #include <utility>
 
@@ -70,11 +71,27 @@ bool WorkloadScript::FromPoint(const trace::PointTrace& pt,
     return fail("point " + std::to_string(pt.header.point_index) +
                 " recorded no submissions; nothing to replay");
   }
-  for (const std::vector<ScriptTxn>& seq : out->per_site_) {
-    for (const ScriptTxn& st : seq) {
-      if (st.submit_time > out->last_submit_time_) {
-        out->last_submit_time_ = st.submit_time;
+  // Replay feeds each site's submit times to sim::Simulation::DelayUntil in
+  // script order, and DelayUntil clamps an already-passed instant to the
+  // current time — a regressing sequence would be *silently* reshaped
+  // rather than reproduced. A capture emits kSubmit records in simulation
+  // order, so a regression means a corrupt or hand-edited trace: reject it
+  // here with the site and both offending timestamps, not downstream where
+  // the clamp hides it.
+  for (size_t s = 0; s < out->per_site_.size(); ++s) {
+    const std::vector<ScriptTxn>& seq = out->per_site_[s];
+    for (size_t i = 1; i < seq.size(); ++i) {
+      if (seq[i].submit_time < seq[i - 1].submit_time) {
+        return fail("site " + std::to_string(s) +
+                    " submit times regress: txn #" + std::to_string(i) +
+                    " at t=" + std::to_string(seq[i].submit_time) +
+                    " precedes txn #" + std::to_string(i - 1) + " at t=" +
+                    std::to_string(seq[i - 1].submit_time) +
+                    " — corrupt or reordered capture");
       }
+    }
+    if (!seq.empty() && seq.back().submit_time > out->last_submit_time_) {
+      out->last_submit_time_ = seq.back().submit_time;
     }
   }
   for (const auto& [txn, o] : open) {
@@ -99,7 +116,11 @@ core::WorkloadSource::Arrival ScriptWorkload::NextArrival(
 txn::Transaction ScriptWorkload::NextTxn(db::TxnId id, db::SiteId s,
                                          sim::RandomStream* /*rng*/) {
   const std::vector<ScriptTxn>& seq = script_->site(s);
-  LAZYREP_CHECK(cursor_[s] < seq.size());
+  char why[96];
+  std::snprintf(why, sizeof(why),
+                "site %u: NextTxn past end of script (cursor %zu, %zu txns)",
+                static_cast<unsigned>(s), cursor_[s], seq.size());
+  LAZYREP_CHECK_MSG(cursor_[s] < seq.size(), why);
   const ScriptTxn& st = seq[cursor_[s]++];
   txn::Transaction t;
   t.id = id;

@@ -1,0 +1,260 @@
+#include "sim/parallel_kernel.h"
+
+#include <algorithm>
+
+#include "sim/check.h"
+
+namespace lazyrep::sim {
+
+namespace {
+
+/// Shard whose event is currently executing on this thread (-1 outside event
+/// context). Backs the scheduling-contract checks: shard-local ScheduleAt,
+/// correctly attributed Post.
+thread_local int tls_current_shard = -1;
+
+}  // namespace
+
+ParallelKernel::ParallelKernel(const Options& options) : options_(options) {
+  LAZYREP_CHECK_MSG(options_.num_shards >= 1, "num_shards must be >= 1");
+  LAZYREP_CHECK_MSG(options_.num_workers >= 1, "num_workers must be >= 1");
+  LAZYREP_CHECK_MSG(options_.num_shards == 1 || options_.lookahead > 0,
+                    "multi-shard kernel needs a positive lookahead "
+                    "(Topology::MinCrossGroupLatency)");
+  const int S = options_.num_shards;
+  const int W = options_.num_workers;
+  shards_.reserve(S);
+  for (int s = 0; s < S; ++s) shards_.push_back(std::make_unique<Shard>());
+  mail_.reserve(static_cast<size_t>(W) * W);
+  for (int i = 0; i < W * W; ++i) {
+    mail_.push_back(
+        std::make_unique<SpscMailbox<Envelope>>(options_.mailbox_capacity));
+  }
+  inbox_scratch_.resize(W);
+  owned_.resize(W);
+  for (int s = 0; s < S; ++s) owned_[s % W].push_back(s);
+  floor_.assign(W, kTimeInfinity);
+  threads_.reserve(W - 1);
+  for (int w = 1; w < W; ++w) {
+    threads_.emplace_back([this, w] { WorkerLoop(w); });
+  }
+}
+
+ParallelKernel::~ParallelKernel() {
+  shutdown_.store(true, std::memory_order_release);
+  run_gen_.fetch_add(1, std::memory_order_release);
+  run_gen_.notify_all();
+  for (std::thread& t : threads_) t.join();
+}
+
+EventId ParallelKernel::ScheduleAt(int shard, SimTime t, Callback fn) {
+  LAZYREP_CHECK_MSG(
+      !running_ || tls_current_shard == shard,
+      "ScheduleAt during Run is shard-local; use Post for cross-shard events");
+  return shards_[shard]->queue.ScheduleCallback(t, std::move(fn));
+}
+
+void ParallelKernel::Post(int from_shard, int to_shard, SimTime t,
+                          Callback fn) {
+  Shard* src = shards_[from_shard].get();
+  LAZYREP_CHECK_MSG(tls_current_shard == from_shard,
+                    "Post must run inside one of from_shard's events");
+  if (to_shard == from_shard) {  // degenerate: plain local scheduling
+    src->queue.ScheduleCallback(t, std::move(fn));
+    return;
+  }
+  // The conservative contract. Equality is fine: the receiver's window is
+  // half-open at the horizon, so an event at exactly now + lookahead still
+  // arrives before any window that could fire it.
+  LAZYREP_CHECK_MSG(t >= src->now + options_.lookahead,
+                    "cross-shard Post below the lookahead horizon");
+  Envelope env;
+  env.time = t;
+  env.src_shard = static_cast<uint32_t>(from_shard);
+  env.dst_shard = static_cast<uint32_t>(to_shard);
+  env.seq = src->post_seq++;
+  env.fn = std::move(fn);
+  ++src->posts;
+  const int W = options_.num_workers;
+  mail_[(from_shard % W) * W + (to_shard % W)]->Push(std::move(env));
+}
+
+uint64_t ParallelKernel::Run(SimTime until) {
+  LAZYREP_CHECK_MSG(!running_, "ParallelKernel::Run is not reentrant");
+  const uint64_t before = events_fired();
+  until_ = until;
+  coupled_drive_ = nullptr;
+  running_ = true;
+  done_count_.store(0, std::memory_order_relaxed);
+  run_gen_.fetch_add(1, std::memory_order_release);
+  run_gen_.notify_all();
+  RunWorker(0);
+  const uint64_t want = static_cast<uint64_t>(options_.num_workers) - 1;
+  for (;;) {
+    const uint64_t done = done_count_.load(std::memory_order_acquire);
+    if (done == want) break;
+    done_count_.wait(done, std::memory_order_acquire);
+  }
+  running_ = false;
+  return events_fired() - before;
+}
+
+void ParallelKernel::RunCoupled(const std::function<void()>& drive) {
+  LAZYREP_CHECK_MSG(!running_, "ParallelKernel::RunCoupled is not reentrant");
+  coupled_drive_ = &drive;
+  running_ = true;
+  done_count_.store(0, std::memory_order_relaxed);
+  run_gen_.fetch_add(1, std::memory_order_release);
+  run_gen_.notify_all();
+  RunWorker(0);
+  const uint64_t want = static_cast<uint64_t>(options_.num_workers) - 1;
+  for (;;) {
+    const uint64_t done = done_count_.load(std::memory_order_acquire);
+    if (done == want) break;
+    done_count_.wait(done, std::memory_order_acquire);
+  }
+  running_ = false;
+  coupled_drive_ = nullptr;
+}
+
+void ParallelKernel::Reserve(size_t events_per_shard) {
+  for (auto& shard : shards_) shard->queue.Reserve(events_per_shard);
+  for (auto& box : mail_) box->ReserveSpill(events_per_shard);
+  for (auto& scratch : inbox_scratch_) scratch.reserve(events_per_shard);
+}
+
+uint64_t ParallelKernel::events_fired() const {
+  uint64_t total = 0;
+  for (const auto& shard : shards_) total += shard->fired;
+  return total;
+}
+
+uint64_t ParallelKernel::cross_posts() const {
+  uint64_t total = 0;
+  for (const auto& shard : shards_) total += shard->posts;
+  return total;
+}
+
+uint64_t ParallelKernel::mailbox_spills() const {
+  uint64_t total = 0;
+  for (const auto& box : mail_) total += box->spilled_total();
+  return total;
+}
+
+void ParallelKernel::WorkerLoop(int w) {
+  uint64_t seen = 0;
+  for (;;) {
+    run_gen_.wait(seen, std::memory_order_acquire);
+    seen = run_gen_.load(std::memory_order_acquire);
+    if (shutdown_.load(std::memory_order_acquire)) return;
+    RunWorker(w);
+    done_count_.fetch_add(1, std::memory_order_acq_rel);
+    done_count_.notify_all();
+  }
+}
+
+void ParallelKernel::RunWorker(int w) {
+  if (coupled_drive_ != nullptr) {
+    // Degenerate single-shard drive: the fleet assembles, worker 0 runs the
+    // caller's sequential loop as one infinite window, the fleet disbands.
+    Barrier();
+    if (w == 0) (*coupled_drive_)();
+    Barrier();
+    return;
+  }
+  const SimTime until = until_;
+  const bool windowed = num_shards() > 1;
+  for (;;) {
+    // Phase 1: publish this worker's floor candidate, then agree on the
+    // global floor. Every worker computes the same minimum from the same
+    // slots, so the exit decision is unanimous by construction.
+    SimTime local = kTimeInfinity;
+    for (int s : owned_[w]) {
+      local = std::min(local, shards_[s]->queue.PeekTime());
+    }
+    floor_[w] = local;
+    Barrier();
+    SimTime floor = kTimeInfinity;
+    for (SimTime f : floor_) floor = std::min(floor, f);
+    if (floor == kTimeInfinity || floor > until) break;
+    // Phase 2: every shard fires its events in [floor, horizon) — safe
+    // because any in-flight cross-shard event lands at or after the horizon
+    // (Post's lookahead contract), so no input to this window is missing.
+    const SimTime horizon = windowed ? floor + options_.lookahead
+                                     : kTimeInfinity;
+    for (int s : owned_[w]) {
+      ProcessWindow(shards_[s].get(), s, horizon, until);
+    }
+    Barrier();
+    // Phase 3: merge incoming envelopes. Each worker touches only its own
+    // shards' queues; the next floor_[w] write (phase 1) is sequenced after
+    // this drain on the same thread, so no extra barrier is needed.
+    DrainInbox(w);
+    if (w == 0) ++windows_;
+  }
+}
+
+void ParallelKernel::ProcessWindow(Shard* shard, int shard_index,
+                                   SimTime horizon, SimTime until) {
+  EventQueue& q = shard->queue;
+  tls_current_shard = shard_index;
+  for (;;) {
+    const SimTime t = q.PeekTime();
+    if (t >= horizon || t > until) break;
+    EventQueue::Fired fired = q.Pop();
+    shard->now = fired.time;
+    ++shard->fired;
+    if (fired.handle) {
+      fired.handle.resume();
+    } else {
+      fired.callback();
+    }
+  }
+  tls_current_shard = -1;
+}
+
+void ParallelKernel::DrainInbox(int w) {
+  const int W = options_.num_workers;
+  std::vector<Envelope>& scratch = inbox_scratch_[w];
+  for (int src = 0; src < W; ++src) {
+    SpscMailbox<Envelope>& box = *mail_[src * W + w];
+    Envelope env;
+    while (box.TryPop(&env)) scratch.push_back(std::move(env));
+    box.DrainSpill(&scratch);
+  }
+  // Canonical merge order: (time, src_shard, seq) is a total order that no
+  // thread schedule can perturb, so the destination queues' internal seq
+  // numbers — and every later pop — are identical at any worker count.
+  std::sort(scratch.begin(), scratch.end(),
+            [](const Envelope& a, const Envelope& b) {
+              if (a.time != b.time) return a.time < b.time;
+              if (a.src_shard != b.src_shard) return a.src_shard < b.src_shard;
+              return a.seq < b.seq;
+            });
+  for (Envelope& env : scratch) {
+    shards_[env.dst_shard]->queue.ScheduleCallback(env.time,
+                                                   std::move(env.fn));
+  }
+  scratch.clear();
+}
+
+void ParallelKernel::Barrier() {
+  const uint64_t n = static_cast<uint64_t>(options_.num_workers);
+  if (n == 1) return;
+  const uint64_t gen = barrier_gen_.load(std::memory_order_acquire);
+  if (barrier_count_.fetch_add(1, std::memory_order_acq_rel) + 1 == n) {
+    barrier_count_.store(0, std::memory_order_relaxed);
+    barrier_gen_.store(gen + 1, std::memory_order_release);
+    barrier_gen_.notify_all();
+    return;
+  }
+  // Windows are short; spin briefly before the futex sleep.
+  for (int i = 0; i < 2048; ++i) {
+    if (barrier_gen_.load(std::memory_order_acquire) != gen) return;
+  }
+  while (barrier_gen_.load(std::memory_order_acquire) == gen) {
+    barrier_gen_.wait(gen, std::memory_order_acquire);
+  }
+}
+
+}  // namespace lazyrep::sim

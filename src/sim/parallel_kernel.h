@@ -1,0 +1,184 @@
+#ifndef LAZYREP_SIM_PARALLEL_KERNEL_H_
+#define LAZYREP_SIM_PARALLEL_KERNEL_H_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "sim/event_queue.h"
+#include "sim/spsc_mailbox.h"
+
+namespace lazyrep::sim {
+
+/// Conservative-synchronization parallel discrete-event kernel
+/// (DESIGN.md §4.10).
+///
+/// The simulated fleet is partitioned into `num_shards` **logical shards**,
+/// each owning its own EventQueue and local clock. Shards are the unit of
+/// determinism: the execution schedule is a pure function of (shard count,
+/// initial events, lookahead) and is byte-identical at any `num_workers` —
+/// worker threads are pure capacity, exactly like `--jobs` in the study
+/// runner. An event scheduled on a shard may touch only that shard's state;
+/// the sole cross-shard channel is Post(), which routes through per-worker-
+/// pair SPSC mailboxes and requires the event to land at least `lookahead`
+/// simulated seconds in the future.
+///
+/// Execution is null-message-free windowed conservative synchronization:
+///
+///   repeat until every shard queue is empty:
+///     floor   = min over shards of next-event time        (one barrier)
+///     horizon = floor + lookahead
+///     in parallel: each shard fires its events in [floor, horizon),
+///       local schedules go straight into the shard queue, cross-shard
+///       posts into the producer worker's mailbox toward the owner
+///     barrier; each worker merges its incoming envelopes in canonical
+///       (time, src_shard, seq) order into its shards' queues
+///
+/// Safety: a shard processing window [floor, horizon) can only be affected
+/// by a cross-shard event with time >= sender_now + lookahead; sender_now >=
+/// floor, so every in-flight event lands at or after the horizon and no
+/// window ever misses input (the lookahead is exactly the minimum
+/// cross-shard network latency, Topology::MinCrossGroupLatency()).
+///
+/// Determinism: within a window each shard fires in (time, seq) order on one
+/// thread; mailbox merges are sorted by the worker-independent canonical key
+/// before insertion, so per-queue seq assignment — and therefore the entire
+/// schedule — never depends on thread count or timing.
+class ParallelKernel {
+ public:
+  using Callback = EventQueue::Callback;
+
+  struct Options {
+    /// Fixed logical shard count — part of the scenario's identity, like a
+    /// topology. Results depend on it; they never depend on num_workers.
+    int num_shards = 1;
+    /// Worker threads (>= 1). Shard s is owned by worker s % num_workers.
+    int num_workers = 1;
+    /// Minimum simulated delay of any cross-shard Post. Must be > 0 when
+    /// num_shards > 1; the window advancement rate is floor + lookahead.
+    SimTime lookahead = 0;
+    /// Per worker-pair mailbox ring capacity (rounded up to a power of 2).
+    /// Bursts beyond it spill to an unbounded producer-private list —
+    /// correct but allocating, so size for the steady state.
+    size_t mailbox_capacity = 4096;
+  };
+
+  explicit ParallelKernel(const Options& options);
+  ~ParallelKernel();
+  ParallelKernel(const ParallelKernel&) = delete;
+  ParallelKernel& operator=(const ParallelKernel&) = delete;
+
+  /// Schedules `fn` on `shard` at absolute time `t`. Callable before Run()
+  /// from the owning caller, or during Run() from an event executing on the
+  /// same shard (shard-local scheduling; checked).
+  EventId ScheduleAt(int shard, SimTime t, Callback fn);
+
+  /// Cross-shard scheduling: from an event executing on `from_shard`,
+  /// schedules `fn` on `to_shard` at absolute time `t`. Requires
+  /// t >= Now(from_shard) + lookahead (checked) — the conservative bound
+  /// that makes the window advancement safe.
+  void Post(int from_shard, int to_shard, SimTime t, Callback fn);
+
+  /// Cancels a pending shard-local event; safe on stale ids. Only from the
+  /// shard's own context (or while not running).
+  bool Cancel(int shard, EventId id) {
+    return shards_[shard]->queue.Cancel(id);
+  }
+
+  /// Local clock of `shard`: the time of the event it is executing, or the
+  /// last one it executed.
+  SimTime Now(int shard) const { return shards_[shard]->now; }
+
+  /// Runs windows until every shard queue drains or no event at or below
+  /// `until` remains. Returns events fired by this call. May be called
+  /// repeatedly; worker threads persist across calls.
+  uint64_t Run(SimTime until = kTimeInfinity);
+
+  /// Degenerate single-shard drive for event populations that share state
+  /// and therefore cannot be sharded yet (core::System's protocol fleet,
+  /// whose tracker/metrics/graph couple every site): mobilizes the worker
+  /// fleet, executes `drive` — the caller's own sequential event loop — as
+  /// shard 0's one infinite window, and retires the fleet. The schedule is
+  /// exactly the caller's sequential one, so output is byte-identical at
+  /// any worker count by construction.
+  void RunCoupled(const std::function<void()>& drive);
+
+  /// Pre-sizes every shard queue and merge scratch (warm-up; optional).
+  void Reserve(size_t events_per_shard);
+
+  int num_shards() const { return static_cast<int>(shards_.size()); }
+  int num_workers() const { return options_.num_workers; }
+  SimTime lookahead() const { return options_.lookahead; }
+
+  /// Events fired across all shards since construction.
+  uint64_t events_fired() const;
+  /// Conservative windows executed (barrier rounds) since construction.
+  uint64_t windows() const { return windows_; }
+  /// Cross-shard envelopes routed through the mailboxes since construction.
+  uint64_t cross_posts() const;
+  /// Envelopes that overflowed a mailbox ring into its spill list.
+  uint64_t mailbox_spills() const;
+
+ private:
+  /// One cross-shard event in flight between two workers.
+  struct Envelope {
+    SimTime time = 0;
+    uint32_t src_shard = 0;
+    uint32_t dst_shard = 0;
+    uint64_t seq = 0;  ///< per-source-shard post counter: canonical tiebreak
+    Callback fn;
+  };
+
+  /// One logical shard, cache-line padded: workers write neighbors' stats.
+  struct alignas(64) Shard {
+    EventQueue queue;
+    SimTime now = 0;
+    uint64_t fired = 0;
+    uint64_t post_seq = 0;
+    uint64_t posts = 0;
+  };
+
+  void WorkerLoop(int w);
+  /// The windowed main loop, executed by every participating worker.
+  void RunWorker(int w);
+  /// Fires `shard`'s events with time < horizon and time <= until.
+  void ProcessWindow(Shard* shard, int shard_index, SimTime horizon,
+                     SimTime until);
+  /// Merges every envelope addressed to worker `w` into its shards' queues
+  /// in canonical (time, src_shard, seq) order.
+  void DrainInbox(int w);
+  /// Sense-counting barrier over the participating workers.
+  void Barrier();
+
+  Options options_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  /// mail_[src_worker * W + dst_worker]: SPSC by construction — one producer
+  /// (whichever thread runs src's shards this run) and one consumer.
+  std::vector<std::unique_ptr<SpscMailbox<Envelope>>> mail_;
+  /// Per-worker merge scratch, reused every window.
+  std::vector<std::vector<Envelope>> inbox_scratch_;
+  /// Shards owned by each worker (round-robin, fixed at construction).
+  std::vector<std::vector<int>> owned_;
+  /// Per-worker window floor candidates (min next-event time over owned).
+  std::vector<SimTime> floor_;
+  std::atomic<uint64_t> spills_{0};
+
+  // -- run orchestration ------------------------------------------------------
+  std::vector<std::thread> threads_;  ///< workers 1..W-1; caller is worker 0
+  std::atomic<uint64_t> run_gen_{0};  ///< bumped by Run to release workers
+  std::atomic<uint64_t> done_count_{0};
+  std::atomic<bool> shutdown_{false};
+  std::atomic<uint64_t> barrier_count_{0};
+  std::atomic<uint64_t> barrier_gen_{0};
+  SimTime until_ = kTimeInfinity;
+  const std::function<void()>* coupled_drive_ = nullptr;
+  uint64_t windows_ = 0;  ///< worker 0 only
+  bool running_ = false;
+};
+
+}  // namespace lazyrep::sim
+
+#endif  // LAZYREP_SIM_PARALLEL_KERNEL_H_

@@ -1,0 +1,103 @@
+#ifndef LAZYREP_SIM_SPSC_MAILBOX_H_
+#define LAZYREP_SIM_SPSC_MAILBOX_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "sim/check.h"
+
+namespace lazyrep::sim {
+
+/// Bounded single-producer / single-consumer ring with a producer-private
+/// unbounded spill list, used as the cross-shard event channel of the
+/// parallel kernel (one mailbox per ordered worker pair).
+///
+/// The ring is a classic SPSC queue: the producer owns `tail_`, the consumer
+/// owns `head_`, and each reads the other's index with acquire semantics, so
+/// Push and Pop may run concurrently from two threads with no lock. Slots
+/// are preallocated; at steady state a Push performs no heap allocation.
+///
+/// When a window bursts past the ring capacity the producer parks the excess
+/// in `spill_` — a plain vector written only by the producer and consumed
+/// only after the next kernel barrier (the barrier is the happens-before
+/// edge; `DrainSpill` must never race a concurrent Push). The spill exists
+/// so a capacity guess can never deadlock or drop an event; its growth is
+/// the one allocation source, which the kernel warm-up amortizes by
+/// reserving and the bench's allocation gate keeps honest.
+template <typename T>
+class SpscMailbox {
+ public:
+  /// `capacity` is rounded up to a power of two (>= 2) so index wrapping is
+  /// a mask, not a division.
+  explicit SpscMailbox(size_t capacity = 1024) {
+    size_t cap = 2;
+    while (cap < capacity) cap <<= 1;
+    ring_.resize(cap);
+    mask_ = cap - 1;
+  }
+  SpscMailbox(const SpscMailbox&) = delete;
+  SpscMailbox& operator=(const SpscMailbox&) = delete;
+
+  /// Producer side. Never fails: overflow goes to the spill list.
+  void Push(T value) {
+    const uint64_t tail = tail_.load(std::memory_order_relaxed);
+    const uint64_t head = head_.load(std::memory_order_acquire);
+    if (tail - head <= mask_) {
+      ring_[tail & mask_] = std::move(value);
+      tail_.store(tail + 1, std::memory_order_release);
+    } else {
+      spill_.push_back(std::move(value));
+      ++spill_total_;
+    }
+  }
+
+  /// Consumer side: pops the oldest ring entry into `*out`. Returns false
+  /// when the ring is empty (the spill, if any, is drained separately).
+  bool TryPop(T* out) {
+    const uint64_t head = head_.load(std::memory_order_relaxed);
+    if (head == tail_.load(std::memory_order_acquire)) return false;
+    *out = std::move(ring_[head & mask_]);
+    head_.store(head + 1, std::memory_order_release);
+    return true;
+  }
+
+  /// Consumer side, barrier-synchronized only: moves every spilled entry
+  /// into `*out` in push order. The caller must guarantee no Push can run
+  /// concurrently (the kernel calls this after its window barrier).
+  void DrainSpill(std::vector<T>* out) {
+    for (T& v : spill_) out->push_back(std::move(v));
+    spill_.clear();
+  }
+
+  /// Producer side: pre-sizes the spill list (warm-up).
+  void ReserveSpill(size_t n) { spill_.reserve(n); }
+
+  size_t ring_capacity() const { return mask_ + 1; }
+
+  /// Total entries ever routed through the spill list (producer-owned; read
+  /// it quiescently). Nonzero means the ring capacity is undersized for the
+  /// workload's bursts.
+  uint64_t spilled_total() const { return spill_total_; }
+
+  /// Entries currently buffered (ring + spill). Exact only while quiescent.
+  size_t SizeApprox() const {
+    return static_cast<size_t>(tail_.load(std::memory_order_acquire) -
+                               head_.load(std::memory_order_acquire)) +
+           spill_.size();
+  }
+
+ private:
+  std::vector<T> ring_;
+  size_t mask_ = 0;
+  /// Producer-owned overflow; read by the consumer only across a barrier.
+  std::vector<T> spill_;
+  uint64_t spill_total_ = 0;
+  alignas(64) std::atomic<uint64_t> head_{0};  // consumer cursor
+  alignas(64) std::atomic<uint64_t> tail_{0};  // producer cursor
+};
+
+}  // namespace lazyrep::sim
+
+#endif  // LAZYREP_SIM_SPSC_MAILBOX_H_

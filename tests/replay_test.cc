@@ -308,6 +308,40 @@ TEST(ReplayTest, RejectsUnreplayableCaptures) {
   pt.records.push_back(sub);
   EXPECT_FALSE(replay::WorkloadScript::FromPoint(pt, 2, &script, &error));
   EXPECT_NE(error.find("non-site"), std::string::npos) << error;
+
+  // Regressing submit times on one site: DelayUntil would silently clamp
+  // the earlier instant to "now", reshaping the workload instead of
+  // replaying it. The error must name the site and both timestamps.
+  pt.records.clear();
+  uint64_t next_txn = 100;
+  auto submit_at = [&next_txn](db::SiteId site, double t) {
+    trace::Record r;
+    r.type = static_cast<uint8_t>(trace::EventType::kSubmit);
+    r.txn = next_txn++;
+    r.site = site;
+    r.time = t;
+    r.aux = 0;
+    return r;
+  };
+  pt.records.push_back(submit_at(0, 0.25));
+  pt.records.push_back(submit_at(1, 0.50));  // other site: independent clock
+  pt.records.push_back(submit_at(0, 0.10));  // regression on site 0
+  EXPECT_FALSE(replay::WorkloadScript::FromPoint(pt, 2, &script, &error));
+  EXPECT_NE(error.find("site 0"), std::string::npos) << error;
+  EXPECT_NE(error.find("regress"), std::string::npos) << error;
+  EXPECT_NE(error.find("0.25"), std::string::npos) << error;
+  EXPECT_NE(error.find("0.10"), std::string::npos) << error;
+
+  // Equal timestamps are fine (same-instant submissions are legal), and
+  // per-site monotonicity is judged per site, not across the merged stream.
+  pt.records.clear();
+  pt.records.push_back(submit_at(0, 0.30));
+  pt.records.push_back(submit_at(1, 0.10));
+  pt.records.push_back(submit_at(0, 0.30));
+  pt.records.push_back(submit_at(1, 0.20));
+  EXPECT_TRUE(replay::WorkloadScript::FromPoint(pt, 2, &script, &error))
+      << error;
+  EXPECT_EQ(script.total_submissions(), 4u);
 }
 
 }  // namespace
